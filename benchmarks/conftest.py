@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper table/figure has one bench module that regenerates it via
+``pytest benchmarks/ --benchmark-only``.  Simulation-backed experiments
+run at the quick scale (16 MB, 2 windows, 9 representative benchmarks)
+so the whole harness completes in minutes; pass ``--repro-full`` to run
+the paper-scale sweeps instead (32 MB, 8 windows, all 23 benchmarks).
+
+Each bench prints the regenerated table so the harness output doubles
+as the reproduction artifact.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentSettings
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-full",
+        action="store_true",
+        default=False,
+        help="run experiments at full scale (slow) instead of quick scale",
+    )
+
+
+@pytest.fixture(scope="session")
+def settings(request):
+    if request.config.getoption("--repro-full"):
+        return ExperimentSettings()
+    return ExperimentSettings.quick()
+
+
+@pytest.fixture
+def show():
+    """Print an ExperimentResult table beneath the bench output."""
+
+    def _show(result):
+        print()
+        print(result.render())
+        return result
+
+    return _show

@@ -1,0 +1,12 @@
+"""Bench: cell-type identification accuracy ablation."""
+
+from repro.experiments.ablations import run_celltype
+
+
+def test_celltype_ablation(benchmark, settings, show):
+    result = benchmark.pedantic(run_celltype, args=(settings,), rounds=1,
+                                iterations=1)
+    show(result)
+    for col in range(1, len(result.headers)):
+        series = [row[col] for row in result.rows]
+        assert series == sorted(series)  # more error -> less skipping

@@ -1,0 +1,15 @@
+"""Bench: compressibility vs skippability across content classes."""
+
+from repro.experiments.abl_compression import run
+
+
+def test_compression_vs_skippability(benchmark, settings, show):
+    result = benchmark(run, settings)
+    show(result)
+    by_class = {row[0]: row for row in result.rows}
+    # zero saturates everything; random defeats everything
+    assert by_class["zero"][1] == 64.0
+    assert by_class["zero"][3] == 8
+    assert by_class["random"][3] == 0
+    # the divergence: BDI-incompressible classes can still skip words
+    assert by_class["wide"][1] < 1.05 and by_class["wide"][3] >= 2

@@ -1,0 +1,12 @@
+"""Bench: per-bank vs all-bank AR policy ablation (Sec. IV-A)."""
+
+from repro.experiments.ablations import run_policy
+
+
+def test_policy_ablation(benchmark, settings, show):
+    result = benchmark.pedantic(run_policy, args=(settings,), rounds=1,
+                                iterations=1)
+    show(result)
+    assert len(result.rows) == 4
+    for row in result.rows:
+        assert all(0 < v <= 1.2 for v in row[1:])

@@ -1,0 +1,12 @@
+"""Bench: pipeline-stage contribution ablation."""
+
+from repro.experiments.ablations import run_stages
+
+
+def test_stage_ablation(benchmark, settings, show):
+    result = benchmark.pedantic(run_stages, args=(settings,), rounds=1,
+                                iterations=1)
+    show(result)
+    for col in range(1, len(result.headers)):
+        series = [row[col] for row in result.rows]
+        assert series[-1] <= series[0]  # full pipeline never worse than raw

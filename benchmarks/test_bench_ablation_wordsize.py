@@ -1,0 +1,12 @@
+"""Bench: EBDI word-size ablation (8 B vs 4 B)."""
+
+from repro.experiments.ablations import run_wordsize
+
+
+def test_wordsize_ablation(benchmark, settings, show):
+    result = benchmark.pedantic(run_wordsize, args=(settings,), rounds=1,
+                                iterations=1)
+    show(result)
+    assert len(result.rows) == 2
+    for row in result.rows:
+        assert all(0 < v <= 1.0 + 1e-9 for v in row[1:])

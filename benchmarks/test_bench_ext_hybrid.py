@@ -1,0 +1,16 @@
+"""Bench: the hybrid charge+recency extension across capacities."""
+
+from repro.experiments.ext_hybrid import run
+
+
+def test_ext_hybrid(benchmark, settings, show):
+    result = benchmark.pedantic(run, args=(settings,), rounds=1,
+                                iterations=1)
+    show(result)
+    for row in result.rows:
+        smart, zero, hybrid = row[1], row[2], row[3]
+        assert hybrid <= zero + 1e-9  # never worse than ZERO-REFRESH
+    # hybrid's recency edge is largest where Smart Refresh is strongest
+    edge_small = result.rows[0][2] - result.rows[0][3]
+    edge_large = result.rows[-1][2] - result.rows[-1][3]
+    assert edge_small >= edge_large - 0.02

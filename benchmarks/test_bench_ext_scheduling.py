@@ -1,0 +1,16 @@
+"""Bench: latency-hiding schedulers vs work-removing skipping."""
+
+from repro.experiments.ext_scheduling import run
+
+
+def test_ext_scheduling(benchmark, settings, show):
+    result = benchmark.pedantic(run, args=(settings,), rounds=1,
+                                iterations=1)
+    show(result)
+    by_policy = {row[0]: row for row in result.rows}
+    base = by_policy["conventional"][3]
+    for policy in ("elastic", "pausing", "zero-refresh",
+                   "zero-refresh + pausing"):
+        assert by_policy[policy][3] < base
+    assert (by_policy["zero-refresh + pausing"][3]
+            <= min(by_policy["pausing"][3], by_policy["zero-refresh"][3]))

@@ -1,0 +1,15 @@
+"""Bench: RAIDR's VRT exposure vs ZERO-REFRESH's value-based immunity."""
+
+from repro.experiments.ext_vrt import run
+
+
+def test_ext_vrt(benchmark, settings, show):
+    result = benchmark.pedantic(run, args=(settings,), rounds=1,
+                                iterations=1)
+    show(result)
+    raidr_rows = [row for row in result.rows if row[0].startswith("RAIDR")]
+    unsafe = [row[2] for row in raidr_rows]
+    assert unsafe == sorted(unsafe)  # exposure grows with VRT age
+    assert unsafe[-1] > 0
+    zero_row = result.rows[-1]
+    assert zero_row[2] == 0  # value-based skipping has no exposure

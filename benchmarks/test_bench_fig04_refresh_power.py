@@ -1,0 +1,11 @@
+"""Bench: regenerate Fig. 4 (refresh power share vs density)."""
+
+from repro.experiments import fig04
+
+
+def test_fig04_refresh_power(benchmark, settings, show):
+    result = benchmark(fig04.run, settings)
+    show(result)
+    shares = {(row[0], row[1]): row[4] for row in result.rows}
+    assert shares[("extended", "16 Gb")] > 0.5
+    assert shares[("normal", "4 Gb")] < shares[("extended", "4 Gb")]

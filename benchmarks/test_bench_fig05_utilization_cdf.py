@@ -1,0 +1,11 @@
+"""Bench: regenerate Fig. 5 (utilisation CDFs of the three traces)."""
+
+from repro.experiments import fig05
+
+
+def test_fig05_utilization_cdfs(benchmark, settings, show):
+    result = benchmark(fig05.run, settings)
+    show(result)
+    by_name = {row[0]: row[1:] for row in result.rows}
+    # CDF ordering at mid-utilisation: bitbrains >> google >> alibaba
+    assert by_name["bitbrains"][4] > by_name["google"][4] > by_name["alibaba"][4]

@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 6 (zero fractions at 1 KB and 1 B)."""
+
+from repro.experiments import fig06
+
+
+def test_fig06_zero_fractions(benchmark, settings, show):
+    result = benchmark(fig06.run, settings)
+    show(result)
+    avg = result.rows[-1]
+    assert 0.0 < avg[1] < 0.10   # few fully-zero 1 KB blocks
+    assert 0.25 < avg[2] < 0.60  # but many zero bytes
+    assert avg[2] > 5 * avg[1]

@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 14 (normalised refresh, four scenarios)."""
+
+from repro.experiments import fig14
+
+
+def test_fig14_refresh_reduction(benchmark, settings, show):
+    result = benchmark.pedantic(fig14.run, args=(settings,), rounds=1,
+                                iterations=1)
+    show(result)
+    avg = next(r for r in result.rows if r[0] == "average")
+    # who wins: ZERO-REFRESH always beats conventional (norm < 1)
+    assert avg[1] < 0.85
+    # scenario ordering: more idle memory -> fewer refreshes
+    assert avg[1] > avg[2] > avg[3] > avg[4]
+    # rough factor at the Bitbrains level: most refreshes eliminated
+    assert avg[4] < 0.35

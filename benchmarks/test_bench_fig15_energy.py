@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 15 (normalised refresh energy)."""
+
+from repro.experiments import fig15
+
+
+def test_fig15_energy(benchmark, settings, show):
+    result = benchmark.pedantic(fig15.run, args=(settings,), rounds=1,
+                                iterations=1)
+    show(result)
+    avg = next(r for r in result.rows if r[0] == "average")
+    assert avg[1] > avg[2] > avg[3] > avg[4]
+    assert avg[4] < 0.40

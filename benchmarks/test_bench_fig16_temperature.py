@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 16 (normal vs extended temperature)."""
+
+from repro.experiments import fig16
+
+
+def test_fig16_temperature(benchmark, settings, show):
+    result = benchmark.pedantic(fig16.run, args=(settings,), rounds=1,
+                                iterations=1)
+    show(result)
+    avg = next(r for r in result.rows if r[0] == "average")
+    # 64 ms windows see more writes -> equal or slightly less reduction
+    assert avg[2] >= avg[1] - 1e-9
+    assert avg[2] - avg[1] < 0.10

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 17 (normalised IPC)."""
+
+from repro.experiments import fig17
+
+
+def test_fig17_ipc(benchmark, settings, show):
+    result = benchmark.pedantic(fig17.run, args=(settings,), rounds=1,
+                                iterations=1)
+    show(result)
+    by_name = {row[0]: row[1] for row in result.rows}
+    assert all(v >= 1.0 for v in by_name.values())
+    avg = by_name["average"]
+    assert 1.01 < avg < 1.12
+    if "gemsFDTD" in by_name:
+        assert by_name["gemsFDTD"] == max(
+            v for k, v in by_name.items() if k != "average"
+        )

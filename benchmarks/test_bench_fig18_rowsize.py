@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 18 (row-buffer size sensitivity)."""
+
+from repro.experiments import fig18
+
+
+def test_fig18_row_size(benchmark, settings, show):
+    result = benchmark.pedantic(fig18.run, args=(settings,), rounds=1,
+                                iterations=1)
+    show(result)
+    avg = next(r for r in result.rows if r[0] == "average")
+    # crossover direction: smaller rows skip more
+    assert avg[1] < avg[2] < avg[3]

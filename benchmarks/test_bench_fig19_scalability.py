@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 19 (Smart Refresh vs ZERO-REFRESH scaling)."""
+
+from repro.experiments import fig19
+
+
+def test_fig19_scalability(benchmark, settings, show):
+    result = benchmark.pedantic(fig19.run, args=(settings,), rounds=1,
+                                iterations=1)
+    show(result)
+    smart = [row[1] for row in result.rows]
+    zero = [row[2] for row in result.rows]
+    # Smart Refresh fades with capacity; ZERO-REFRESH stays (nearly) flat
+    assert smart == sorted(smart)
+    assert smart[-1] > 0.85
+    assert max(zero) - min(zero) < max(smart) - min(smart)
+    # crossover: ZERO-REFRESH wins at large capacity
+    assert zero[-1] < smart[-1]

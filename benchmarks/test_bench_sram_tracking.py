@@ -1,0 +1,24 @@
+"""Bench: regenerate the Sec. IV-B tracking-cost table + ablation."""
+
+import pytest
+
+from repro.experiments import sram_overhead
+from repro.experiments.ablations import run_tracking
+
+
+def test_sram_costs(benchmark, settings, show):
+    result = benchmark(sram_overhead.run, settings)
+    show(result)
+    naive, opt = result.rows[0], result.rows[1]
+    assert naive[2] == pytest.approx(337.14, rel=1e-3)
+    assert opt[2] == pytest.approx(2.71, rel=1e-3)
+    assert naive[2] / opt[2] > 100
+
+
+def test_tracking_ablation(benchmark, settings, show):
+    result = benchmark.pedantic(run_tracking, args=(settings,), rounds=1,
+                                iterations=1)
+    show(result)
+    opt, naive = result.rows[0], result.rows[1]
+    for a, b in zip(opt[1:], naive[1:]):
+        assert abs(a - b) < 0.25  # same skip decisions, cheaper SRAM

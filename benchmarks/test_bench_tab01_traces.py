@@ -1,0 +1,12 @@
+"""Bench: regenerate Table I (average allocated memory of traces)."""
+
+import pytest
+
+from repro.experiments import tab01
+
+
+def test_tab01_trace_means(benchmark, settings, show):
+    result = benchmark(tab01.run, settings)
+    show(result)
+    for row in result.rows:
+        assert row[2] == pytest.approx(row[3], abs=0.03)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Characterise real binary content for refresh-reduction potential.
+
+The synthetic profiles stand in for SPEC memory images, but any real
+byte blob — a core dump, a checkpoint, a model file — can be loaded and
+measured directly.  This example builds three small images (an int
+array, a text corpus, random bytes), runs the Fig. 6-style analysis on
+each, then populates the simulator with the most promising one and
+measures the refresh reduction it actually achieves.
+
+With a path argument it analyses your file instead:
+
+Run:  python examples/analyze_image.py [path/to/image.bin]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import SystemConfig, ZeroRefreshSystem
+from repro.workloads import analyze_pages, bytes_to_pages, load_dump
+from repro.workloads.dumps import PAGE_BYTES
+
+
+def demo_images():
+    rng = np.random.default_rng(7)
+    n = 64 * PAGE_BYTES
+    int_array = (np.arange(n // 8, dtype=np.uint64) % 1000).tobytes()
+    text = bytes(rng.integers(0x20, 0x7F, size=n, dtype=np.uint8))
+    noise = rng.bytes(n)
+    return {"int-array": int_array, "text": text, "random": noise}
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        pages = load_dump(sys.argv[1])
+        images = {sys.argv[1]: pages}
+    else:
+        images = {name: bytes_to_pages(blob)
+                  for name, blob in demo_images().items()}
+
+    analyses = {}
+    for name, pages in images.items():
+        analysis = analyze_pages(pages)
+        analyses[name] = (analysis, pages)
+        print(f"{name:>10s}: {analysis.summary()}")
+
+    best_name, (best, pages) = max(
+        analyses.items(), key=lambda kv: kv[1][0].skippable_word_frac
+    )
+    print(f"\npopulating the simulator with '{best_name}' "
+          f"({best.n_pages} pages)...")
+
+    config = SystemConfig.scaled(total_bytes=4 << 20, rows_per_ar=32, seed=1)
+    system = ZeroRefreshSystem(config)
+    page_ids = np.arange(min(len(pages), system.allocator.total_pages))
+    system.controller.populate_pages(page_ids, pages[: len(page_ids)],
+                                     notify=False)
+    system.engine.run_window(0.0)  # derive status
+    stats = system.engine.run_window(system.config.timing.tret_s)
+    print(f"measured refresh reduction: {stats.reduction():.1%} "
+          f"(per-line upper bound was {best.skippable_word_frac:.1%})")
+    # verify the content reads back exactly through the transformation
+    got = system.read_page(0)
+    assert (got == pages[0]).all()
+    print("content round-trips exactly through the transformation.")
+
+
+if __name__ == "__main__":
+    main()

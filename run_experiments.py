@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Regenerate every experiment at the standard reproduction scale and
+write the combined report (used to produce EXPERIMENTS.md numbers)."""
+
+import sys
+import time
+
+from repro.experiments import REGISTRY, ExperimentSettings
+
+
+def main() -> int:
+    settings = ExperimentSettings(
+        memory_bytes=16 << 20, windows=4, rows_per_ar=32, seed=7
+    )
+    for name, runner in REGISTRY.items():
+        start = time.time()
+        result = runner(settings)
+        print(result.render())
+        print(f"({time.time() - start:.1f}s)\n", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""ZERO-REFRESH: charge-aware DRAM refresh reduction with value transformation.
+
+This package is a full reproduction of the HPCA 2020 paper
+"Charge-Aware DRAM Refresh Reduction with Value Transformation"
+(Kim, Kwak, Baek, Kim and Huh).  It provides:
+
+``repro.transform``
+    The CPU-side value-transformation pipeline: EBDI base-delta encoding
+    with true-/anti-cell aware codes, bit-plane transposition, and the
+    data-rotation stage that maps cachelines onto DRAM chips.
+
+``repro.dram``
+    A structural DRAM model: geometry, true/anti-cell layout, charge
+    state, retention, the per-bank auto-refresh engine with staggered
+    refresh counters, and the discharged-row tracking hardware.
+
+``repro.controller``
+    The memory controller connecting the transformation pipeline to the
+    DRAM device, including address mapping and refresh scheduling.
+
+``repro.cache`` / ``repro.cpu``
+    A write-back cache hierarchy and a trace-driven core timing model
+    used for the IPC evaluation.
+
+``repro.osmodel``
+    The operating-system page model (zero-on-free cleansing and the
+    allocation scenarios used in the paper's evaluation).
+
+``repro.energy``
+    DDR4 power modelling (Micron-calculator style), SRAM leakage/area
+    estimates and whole-system energy accounting.
+
+``repro.baselines``
+    Conventional auto-refresh, Smart Refresh, and the zero-indicator-bit
+    scheme used for comparisons.
+
+``repro.workloads``
+    Synthetic benchmark memory-content generators, access traces, and
+    data-center utilisation traces.
+
+``repro.experiments``
+    One runner per table/figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import SystemConfig, ZeroRefreshSystem
+    from repro.workloads import benchmark_profile
+
+    config = SystemConfig.scaled(total_bytes=32 << 20)
+    system = ZeroRefreshSystem(config)
+    system.populate(benchmark_profile("mcf"), seed=7)
+    stats = system.run_windows(8)
+    print(stats.normalized_refresh())
+"""
+
+__all__ = ["SystemConfig", "ZeroRefreshSystem", "RefreshStats"]
+
+__version__ = "1.0.0"
+
+_LAZY_EXPORTS = {
+    "SystemConfig": ("repro.core.config", "SystemConfig"),
+    "RefreshStats": ("repro.core.metrics", "RefreshStats"),
+    "ZeroRefreshSystem": ("repro.core.zero_refresh", "ZeroRefreshSystem"),
+}
+
+
+def __getattr__(name):
+    """Lazily resolve the top-level convenience exports (PEP 562).
+
+    Keeps ``import repro.transform`` cheap for users who only need the
+    codec, without dragging in the whole simulator stack.
+    """
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

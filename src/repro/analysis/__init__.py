@@ -1,0 +1,26 @@
+"""Analysis utilities: statistics, calibration checks, report rendering."""
+
+from repro.analysis.calibration import (
+    CalibrationPoint,
+    CalibrationReport,
+    compare,
+    report,
+)
+from repro.analysis.report import render_kv, render_table
+from repro.analysis.stats import (
+    empirical_cdf,
+    geometric_mean,
+    summarize_distribution,
+)
+
+__all__ = [
+    "CalibrationPoint",
+    "CalibrationReport",
+    "compare",
+    "report",
+    "empirical_cdf",
+    "geometric_mean",
+    "render_kv",
+    "render_table",
+    "summarize_distribution",
+]

@@ -1,0 +1,97 @@
+"""Calibration verification: measured simulation vs analytic model.
+
+Two models predict a benchmark's refresh reduction:
+
+* the *mixture-implied* analytic value
+  (:meth:`~repro.workloads.benchmarks.BenchmarkProfile.expected_reduction`),
+  derived from the content-class table and the contamination survival;
+* the *measured* value from a full simulation, which additionally pays
+  the write-traffic dirty-set transient.
+
+This module quantifies the agreement, so calibration drift (a content
+class change, a pipeline regression) surfaces as a number instead of a
+silently wrong figure.  The ``benchmark_sweep`` example and the
+calibration tests use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.metrics import RunResult
+from repro.workloads.benchmarks import BenchmarkProfile
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    """One benchmark's analytic-vs-measured comparison."""
+
+    benchmark: str
+    analytic_reduction: float
+    measured_reduction: float
+    allocated_fraction: float = 1.0
+
+    @property
+    def analytic_with_idle(self) -> float:
+        """Analytic prediction including idle-page skipping."""
+        return (self.allocated_fraction * self.analytic_reduction
+                + (1.0 - self.allocated_fraction))
+
+    @property
+    def error(self) -> float:
+        """measured - analytic (negative: simulation under-achieves)."""
+        return self.measured_reduction - self.analytic_with_idle
+
+    @property
+    def relative_error(self) -> float:
+        if self.analytic_with_idle == 0:
+            return 0.0
+        return self.error / self.analytic_with_idle
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    points: List[CalibrationPoint]
+
+    @property
+    def mean_error(self) -> float:
+        return float(np.mean([p.error for p in self.points]))
+
+    @property
+    def max_abs_error(self) -> float:
+        return float(max(abs(p.error) for p in self.points))
+
+    @property
+    def rank_correlation(self) -> float:
+        """Spearman correlation of analytic vs measured ordering."""
+        analytic = [p.analytic_with_idle for p in self.points]
+        measured = [p.measured_reduction for p in self.points]
+        ra = np.argsort(np.argsort(analytic)).astype(float)
+        rm = np.argsort(np.argsort(measured)).astype(float)
+        if len(ra) < 2 or ra.std() == 0 or rm.std() == 0:
+            return 1.0
+        return float(np.corrcoef(ra, rm)[0, 1])
+
+    def within(self, abs_tolerance: float) -> bool:
+        return self.max_abs_error <= abs_tolerance
+
+
+def compare(profile: BenchmarkProfile, result: RunResult,
+            row_bytes: int = 4096) -> CalibrationPoint:
+    """Build a calibration point from a finished run."""
+    return CalibrationPoint(
+        benchmark=profile.name,
+        analytic_reduction=profile.expected_reduction(row_bytes),
+        measured_reduction=result.refresh_reduction,
+        allocated_fraction=result.allocated_fraction,
+    )
+
+
+def report(points: Iterable[CalibrationPoint]) -> CalibrationReport:
+    points = list(points)
+    if not points:
+        raise ValueError("no calibration points")
+    return CalibrationReport(points=points)

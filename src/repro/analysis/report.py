@@ -1,0 +1,42 @@
+"""Plain-text table rendering for experiment output.
+
+Experiments print the same rows/series the paper's tables and figures
+report; this module renders them as aligned ASCII tables so the bench
+harness and the example scripts produce readable artifacts without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_cell(value) -> str:
+    """Human formatting: floats to 3 decimals, percents passed through."""
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned ASCII table with a header rule."""
+    str_rows: List[List[str]] = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt_line(cells):
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+    lines = [fmt_line(headers), fmt_line(["-" * w for w in widths])]
+    lines.extend(fmt_line(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_kv(title: str, pairs: Iterable) -> str:
+    """Render a titled key/value block."""
+    lines = [title, "-" * len(title)]
+    for key, value in pairs:
+        lines.append(f"{key}: {format_cell(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Statistical helpers shared by the experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (used for normalised-metric averages)."""
+    arr = np.asarray(values, dtype=float)
+    if (arr <= 0).any():
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def empirical_cdf(samples: np.ndarray, grid: np.ndarray) -> np.ndarray:
+    """P(X <= g) for each grid point."""
+    sorted_samples = np.sort(np.asarray(samples))
+    return np.searchsorted(sorted_samples, grid, side="right") / len(sorted_samples)
+
+
+def summarize_distribution(samples: np.ndarray) -> Dict[str, float]:
+    """Mean plus the quartile-ish summary the Fig. 5 CDFs convey."""
+    samples = np.asarray(samples)
+    return {
+        "mean": float(samples.mean()),
+        "p10": float(np.percentile(samples, 10)),
+        "p25": float(np.percentile(samples, 25)),
+        "p50": float(np.percentile(samples, 50)),
+        "p75": float(np.percentile(samples, 75)),
+        "p90": float(np.percentile(samples, 90)),
+    }

@@ -1,0 +1,24 @@
+"""Baseline refresh policies the paper compares against.
+
+* Conventional DDRx auto-refresh is the ``mode='conventional'`` setting
+  of :class:`repro.dram.refresh.RefreshEngine` (every row, every
+  window).
+* :mod:`repro.baselines.smart_refresh` — access-recency skipping
+  (Ghosh & Lee), the Fig. 19 comparison.
+* :mod:`repro.baselines.zero_indicator` — the per-segment zero-bit
+  scheme of Patel et al., contrasted on area overhead and raw-value
+  effectiveness (Sec. II-D).
+"""
+
+from repro.baselines.hybrid import HybridRefreshEngine
+from repro.baselines.raidr import RaidrScheduler, RaidrStats
+from repro.baselines.smart_refresh import SmartRefreshTracker
+from repro.baselines.zero_indicator import ZeroIndicatorScheme
+
+__all__ = [
+    "HybridRefreshEngine",
+    "RaidrScheduler",
+    "RaidrStats",
+    "SmartRefreshTracker",
+    "ZeroIndicatorScheme",
+]

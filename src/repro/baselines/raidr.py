@@ -1,0 +1,106 @@
+"""RAIDR baseline (Liu et al., ISCA 2012) with VRT-risk accounting.
+
+RAIDR profiles per-row retention once, bins rows into refresh-rate
+classes (e.g. 64 / 128 / 256 ms), and refreshes each bin at its own
+rate — most rows retain far longer than 64 ms, so most refreshes go
+away.  The paper's criticism (Sec. I, II-D): retention is *not* static.
+VRT flips silently move rows below their bin's period, and a static
+profile cannot see it; AVATAR's fix is continuous scrubbing with ECC.
+
+:class:`RaidrScheduler` implements the binning and the per-window
+refresh-operation accounting; combined with
+:class:`~repro.dram.variation.VrtProcess` it also reports the rows that
+became unsafe — the reliability cost ZERO-REFRESH avoids entirely
+(a skipped ZERO-REFRESH row holds no charge, so its retention time is
+irrelevant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.dram.variation import RetentionProfile, VrtProcess
+
+DEFAULT_BIN_PERIODS_S = (0.064, 0.128, 0.256)
+
+
+@dataclass
+class RaidrStats:
+    """Per-window accounting."""
+
+    windows: int = 0
+    refreshes_performed: int = 0
+    refreshes_baseline: int = 0
+    unsafe_row_windows: int = 0  # row-windows spent below the safe period
+
+    def normalized_refresh(self) -> float:
+        if self.refreshes_baseline == 0:
+            return 1.0
+        return self.refreshes_performed / self.refreshes_baseline
+
+    def reduction(self) -> float:
+        return 1.0 - self.normalized_refresh()
+
+
+class RaidrScheduler:
+    """Retention-binned multi-rate refresh with a static profile."""
+
+    def __init__(self, profile: RetentionProfile,
+                 bin_periods_s: Sequence[float] = DEFAULT_BIN_PERIODS_S,
+                 guardband: float = 2.0):
+        """Bins are assigned from the *profiled* retention with a
+        safety guardband: a row joins the longest bin whose period times
+        ``guardband`` its profiled retention still covers."""
+        periods = np.asarray(sorted(bin_periods_s))
+        if (periods <= 0).any():
+            raise ValueError("bin periods must be positive")
+        self.bin_periods_s = periods
+        self.guardband = guardband
+        safe = profile.row_retention_s / guardband
+        # index of the longest allowable bin per row
+        self.row_bins = np.zeros(len(profile), dtype=np.int64)
+        for i, period in enumerate(periods):
+            self.row_bins[safe >= period] = i
+        self.assigned_period_s = periods[self.row_bins]
+        self.base_period_s = float(periods[0])
+        self.stats = RaidrStats()
+
+    # ------------------------------------------------------------------
+    def bin_histogram(self) -> np.ndarray:
+        """Row counts per bin (ascending period)."""
+        return np.bincount(self.row_bins, minlength=len(self.bin_periods_s))
+
+    def expected_reduction(self) -> float:
+        """Closed-form refresh reduction of the binning."""
+        rates = self.base_period_s / self.assigned_period_s
+        return 1.0 - float(rates.mean())
+
+    # ------------------------------------------------------------------
+    def run_window(self, vrt: Optional[VrtProcess] = None) -> RaidrStats:
+        """One base-period window: refresh due bins, account VRT risk."""
+        window = self.stats.windows
+        due = (window % (self.assigned_period_s
+                         / self.base_period_s).astype(np.int64)) == 0
+        performed = int(due.sum())
+        delta = RaidrStats(
+            windows=1,
+            refreshes_performed=performed,
+            refreshes_baseline=len(self.row_bins),
+        )
+        if vrt is not None:
+            vrt.advance(self.base_period_s)
+            unsafe = vrt.unsafe_rows(self.assigned_period_s)
+            delta.unsafe_row_windows = int(len(unsafe))
+        self.stats.windows += 1
+        self.stats.refreshes_performed += delta.refreshes_performed
+        self.stats.refreshes_baseline += delta.refreshes_baseline
+        self.stats.unsafe_row_windows += delta.unsafe_row_windows
+        return delta
+
+    def run(self, n_windows: int, vrt: Optional[VrtProcess] = None) -> RaidrStats:
+        for _ in range(n_windows):
+            self.run_window(vrt)
+        return self.stats

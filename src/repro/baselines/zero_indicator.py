@@ -1,0 +1,62 @@
+"""Zero-indicator-bit baseline (Patel et al., PATMOS 2005).
+
+The prior value-bias scheme the paper contrasts itself with: a *Zero
+Indicator Bit* (ZIB) is stored in DRAM for every 8-32 data bits; a
+segment whose ZIB says "all zero" need not be refreshed (reads
+regenerate zeros from the indicator).  Two properties matter for the
+comparison (paper Sec. II-D):
+
+* **Area** — one extra bit per ``granularity_bits`` is 1/8 to 1/32 of
+  the whole DRAM capacity, versus one bit per 4 KB row (1/32768) for
+  ZERO-REFRESH.
+* **Effectiveness without transformation** — the scheme sees raw
+  values, has no cell-type handling (it was proposed for embedded DRAM)
+  and no value transformation, so at row-refresh granularity it only
+  skips rows whose *raw* content is entirely zero — rare (Fig. 6:
+  ~2.3 % of 1 KB blocks).
+
+The model evaluates both on raw content arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ZeroIndicatorScheme:
+    """ZIB bookkeeping at a configurable granularity."""
+
+    granularity_bits: int = 32  # one indicator bit per this many data bits
+
+    def __post_init__(self):
+        if not 8 <= self.granularity_bits <= 64:
+            raise ValueError("granularity of 8..64 bits per ZIB expected")
+
+    @property
+    def area_overhead(self) -> float:
+        """Extra DRAM capacity consumed by the indicator bits (1/8..1/32)."""
+        return 1.0 / self.granularity_bits
+
+    def segment_zero_fraction(self, lines: np.ndarray) -> float:
+        """Fraction of ZIB segments whose data is all zero."""
+        raw = np.ascontiguousarray(lines).view(np.uint8).reshape(-1)
+        seg_bytes = self.granularity_bits // 8
+        usable = (raw.size // seg_bytes) * seg_bytes
+        segments = raw[:usable].reshape(-1, seg_bytes)
+        return float((segments == 0).all(axis=1).mean())
+
+    def row_skip_fraction(self, page_lines: np.ndarray,
+                          lines_per_row: int = 64) -> float:
+        """Fraction of rows skippable at row-refresh granularity.
+
+        Commodity DRAM refreshes whole rows, so a row is only skippable
+        when *every* segment in it is zero — i.e. the raw row is all
+        zero.  ``page_lines`` has shape (pages, lines_per_page, words).
+        """
+        flat = np.ascontiguousarray(page_lines).reshape(-1, 8)
+        usable = (len(flat) // lines_per_row) * lines_per_row
+        rows = flat[:usable].reshape(-1, lines_per_row * flat.shape[1])
+        return float((rows == 0).all(axis=1).mean())

@@ -1,0 +1,12 @@
+"""Cache hierarchy producing the DRAM-visible traffic (Table II).
+
+See :mod:`repro.cache.caches` for the set-associative write-back model
+(per-core L1D caches over a shared LLC).  The hierarchy's output — LLC
+fill reads and dirty writebacks — is exactly the stream the value
+transformation pipeline operates on (paper Fig. 7 places the EBDI
+module between LLC miss handling and the memory controller).
+"""
+
+from repro.cache.caches import CacheHierarchy, MemoryEvent, SetAssociativeCache
+
+__all__ = ["CacheHierarchy", "MemoryEvent", "SetAssociativeCache"]

@@ -1,0 +1,37 @@
+"""Memory controller: the CPU-side home of ZERO-REFRESH (paper Fig. 7).
+
+The controller sits between the last-level cache and the DRAM device.
+Every cacheline that leaves the LLC passes through the value
+transformation pipeline on its way to memory, and through the inverse
+on its way back:
+
+* :mod:`repro.controller.mapping` — physical-address decomposition into
+  (bank, row, line) coordinates and page-to-row mapping for the OS
+  model.
+* :mod:`repro.controller.memctrl` — :class:`MemoryController`, the
+  read/write front end that drives the codec and the device, counting
+  EBDI operations for the energy model.
+* :mod:`repro.controller.scheduler` — refresh/bandwidth interference
+  accounting: how much bank-unavailable time each refresh policy costs,
+  feeding the IPC model.
+"""
+
+from repro.controller.mapping import AddressMapper
+from repro.controller.memctrl import MemoryController
+from repro.controller.refresh_scheduling import (
+    BaselineRefreshStall,
+    ElasticRefreshQueue,
+    RefreshPausingModel,
+    zero_refresh_stall,
+)
+from repro.controller.scheduler import BankAvailabilityModel
+
+__all__ = [
+    "AddressMapper",
+    "BankAvailabilityModel",
+    "BaselineRefreshStall",
+    "ElasticRefreshQueue",
+    "MemoryController",
+    "RefreshPausingModel",
+    "zero_refresh_stall",
+]

@@ -1,0 +1,159 @@
+"""Latency-hiding refresh schedulers (paper Sec. II-D, "other related
+work").
+
+Orthogonal to *reducing* refreshes, prior work hides their latency by
+choosing *when* to issue them:
+
+* **Elastic Refresh** (Stuecheli et al., MICRO 2010) — postpone an AR
+  while demand requests are pending, up to the JEDEC debt limit of 8
+  postponed commands, and catch up in idle phases;
+* **Refresh Pausing** (Nair et al., HPCA 2013) — abort an in-progress
+  AR at a row boundary when a demand request arrives, resume later.
+
+Both leave the refresh *count* unchanged — they trade scheduling
+freedom for stall time, whereas ZERO-REFRESH removes the work itself.
+:class:`ElasticRefreshQueue` and :class:`RefreshPausingModel` compute
+the demand-visible stall per policy from an arrival process, and the
+``ext-scheduling`` experiment lines them up against charge-aware
+skipping.
+
+The models are first-order/analytical (M/D/1-style collision
+accounting), matching the granularity of the IPC model they feed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.dram.timing import AR_COMMANDS_PER_WINDOW, TimingParams
+
+JEDEC_MAX_POSTPONED = 8
+"""DDRx allows up to eight AR commands to be postponed (tREFI debt)."""
+
+
+@dataclass(frozen=True)
+class StallReport:
+    """Demand-visible refresh stall accounting for one policy."""
+
+    policy: str
+    collision_probability: float
+    mean_stall_ns: float  # expected stall per demand access
+
+    @property
+    def stall_per_access_ns(self) -> float:
+        return self.collision_probability * self.mean_stall_ns
+
+
+class BaselineRefreshStall:
+    """Conventional on-schedule AR: every collision waits the residual tRFC."""
+
+    def __init__(self, timing: TimingParams):
+        self.timing = timing
+
+    @property
+    def trefi_ns(self) -> float:
+        return self.timing.tret_s / AR_COMMANDS_PER_WINDOW * 1e9
+
+    def report(self, busy_fraction: Optional[float] = None) -> StallReport:
+        duty = (busy_fraction if busy_fraction is not None
+                else self.timing.trfc_ns / self.trefi_ns)
+        return StallReport(
+            policy="conventional",
+            collision_probability=duty,
+            mean_stall_ns=self.timing.trfc_ns / 2.0,  # residual, uniform
+        )
+
+
+class ElasticRefreshQueue:
+    """Elastic Refresh: defer ARs during busy phases, drain when idle.
+
+    A two-state (busy/idle) traffic model: demand arrives in busy
+    phases covering ``busy_time_fraction`` of time.  ARs falling in a
+    busy phase are postponed (up to the JEDEC debt of 8); with
+    sufficient idle time they all drain invisibly, so only the overflow
+    beyond the debt limit stalls demand.
+    """
+
+    def __init__(self, timing: TimingParams,
+                 max_postponed: int = JEDEC_MAX_POSTPONED):
+        if max_postponed < 0:
+            raise ValueError("max_postponed cannot be negative")
+        self.timing = timing
+        self.max_postponed = max_postponed
+        self.baseline = BaselineRefreshStall(timing)
+
+    def hidden_fraction(self, busy_time_fraction: float,
+                        mean_busy_ars: float = 4.0) -> float:
+        """Fraction of busy-phase ARs the debt window absorbs.
+
+        With busy phases spanning ``mean_busy_ars`` AR periods on
+        average (geometric), the debt of ``max_postponed`` covers the
+        whole phase unless the phase runs long: P(phase > debt).
+        """
+        if not 0.0 <= busy_time_fraction <= 1.0:
+            raise ValueError("busy_time_fraction must be in [0, 1]")
+        if self.max_postponed == 0:
+            return 0.0
+        p_continue = 1.0 - 1.0 / mean_busy_ars
+        overflow = p_continue**self.max_postponed
+        return 1.0 - overflow
+
+    def report(self, busy_time_fraction: float,
+               mean_busy_ars: float = 4.0) -> StallReport:
+        base = self.baseline.report()
+        hidden = self.hidden_fraction(busy_time_fraction, mean_busy_ars)
+        # Only ARs that hit a busy phase could stall; the debt hides
+        # `hidden` of those entirely.
+        collision = base.collision_probability * busy_time_fraction * (
+            1.0 - hidden
+        )
+        return StallReport(
+            policy="elastic",
+            collision_probability=collision,
+            mean_stall_ns=base.mean_stall_ns,
+        )
+
+
+class RefreshPausingModel:
+    """Refresh Pausing: abort an in-flight AR at the next row boundary.
+
+    A demand access colliding with an AR waits only until the current
+    row's refresh completes (one row interval) instead of the residual
+    tRFC; the paused remainder finishes later in idle time.
+    """
+
+    def __init__(self, timing: TimingParams, rows_per_ar: int = 128):
+        if rows_per_ar < 1:
+            raise ValueError("rows_per_ar must be positive")
+        self.timing = timing
+        self.rows_per_ar = rows_per_ar
+        self.baseline = BaselineRefreshStall(timing)
+
+    @property
+    def pause_granularity_ns(self) -> float:
+        """Worst extra wait: one row's share of the AR burst."""
+        return self.timing.trfc_ns / self.rows_per_ar
+
+    def report(self, busy_time_fraction: float = 1.0) -> StallReport:
+        base = self.baseline.report()
+        return StallReport(
+            policy="pausing",
+            collision_probability=base.collision_probability
+            * busy_time_fraction,
+            mean_stall_ns=self.pause_granularity_ns / 2.0,
+        )
+
+
+def zero_refresh_stall(timing: TimingParams,
+                       normalized_refresh: float) -> StallReport:
+    """ZERO-REFRESH's stall: the busy time itself shrinks."""
+    base = BaselineRefreshStall(timing).report()
+    return StallReport(
+        policy="zero-refresh",
+        collision_probability=base.collision_probability
+        * normalized_refresh,
+        mean_stall_ns=base.mean_stall_ns,
+    )

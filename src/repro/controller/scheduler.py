@@ -1,0 +1,77 @@
+"""Refresh interference accounting (feeds the IPC model, Fig. 17).
+
+While a bank refreshes it cannot serve demand accesses; the fraction of
+time a bank is unavailable is what degrades performance.  With per-bank
+auto refresh each bank receives one AR command every
+``tREFI_pb = tRET / AR_COMMANDS_PER_WINDOW * num_banks``... precisely:
+commands arrive ``num_banks`` times as often but target one bank, so a
+*given* bank is busy for ``tRFC`` once per ``tRET /
+ar_sets_per_window`` of its own schedule.
+
+ZERO-REFRESH shortens the busy time of an AR command in proportion to
+the groups actually refreshed: a command that skips everything still
+pays a small fixed cost (the status-vector read), modelled as
+``status_overhead_fraction`` of tRFC.
+
+:class:`BankAvailabilityModel` turns refresh statistics into a
+bank-unavailability fraction for the baseline and for a measured run,
+which :mod:`repro.cpu.core` converts into IPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.refresh import RefreshStats
+from repro.dram.timing import AR_COMMANDS_PER_WINDOW, TimingParams
+
+
+@dataclass(frozen=True)
+class BankAvailabilityModel:
+    """Computes the unavailable-time fraction a refresh policy imposes.
+
+    ``status_overhead_fraction`` is the residual busy time of a fully
+    skipped AR command relative to tRFC (one row read for the status
+    vector out of ``rows_per_ar`` row refreshes — about 1/128).
+    """
+
+    timing: TimingParams
+    num_banks: int = 8
+    status_overhead_fraction: float = 1.0 / 128.0
+
+    @property
+    def trefi_per_bank_s(self) -> float:
+        """Time between two AR commands arriving at the *same* bank."""
+        return self.timing.tret_s / AR_COMMANDS_PER_WINDOW
+
+    @property
+    def baseline_unavailability(self) -> float:
+        """Fraction of time a bank is refresh-busy under conventional AR."""
+        return (self.timing.trfc_ns * 1e-9) / self.trefi_per_bank_s
+
+    def unavailability(self, stats: RefreshStats) -> float:
+        """Refresh-busy fraction given measured skip statistics.
+
+        Busy time scales with the refreshed-group fraction, plus the
+        status overhead on AR commands that consulted the DRAM table.
+        """
+        if stats.groups_total == 0:
+            return self.baseline_unavailability
+        # rank_busy_groups reflects the refresh policy: per-bank AR
+        # blocks one bank per command, all-bank AR blocks the whole rank
+        # until its slowest bank finishes (Sec. IV-A).
+        work = (stats.normalized_busy() if stats.rank_busy_groups
+                else stats.normalized_refresh())
+        if stats.ar_commands:
+            overhead = (
+                self.status_overhead_fraction
+                * (stats.status_reads + stats.status_writes)
+                / stats.ar_commands
+            )
+        else:
+            overhead = 0.0
+        return self.baseline_unavailability * min(1.0, work + overhead)
+
+    def bandwidth_recovered(self, stats: RefreshStats) -> float:
+        """Fraction of total bank time returned to demand accesses."""
+        return self.baseline_unavailability - self.unavailability(stats)

@@ -1,0 +1,9 @@
+"""Core orchestration: configuration, the full system, result types."""
+
+from repro.core.config import SystemConfig
+from repro.core.metrics import RefreshStats, RunResult
+from repro.core.multirank import MultiRankSystem
+from repro.core.zero_refresh import ZeroRefreshSystem
+
+__all__ = ["MultiRankSystem", "RefreshStats", "RunResult", "SystemConfig",
+           "ZeroRefreshSystem"]

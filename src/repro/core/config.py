@@ -1,0 +1,108 @@
+"""System configuration (paper Table II) and capacity scaling.
+
+:class:`SystemConfig` bundles everything a :class:`~repro.core.zero_refresh.ZeroRefreshSystem`
+needs: DRAM geometry, timing/temperature, the active transformation
+stages, cell-type identification quality, the refresh engine mode and
+the OS cleansing policy.
+
+The paper simulates 32 GB; holding 32 GB of content in a Python process
+is pointless because every reported metric is a ratio, so
+:meth:`SystemConfig.scaled` builds capacity-reduced configurations that
+preserve all structural ratios (chips, banks, row size, rows per AR
+command).  ``tests/core/test_scaling_invariance.py`` demonstrates the
+ratios are scale-invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import TemperatureMode, TimingParams
+from repro.osmodel.pages import CleansePolicy
+from repro.transform.codec import StageSelection
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full simulated-system configuration."""
+
+    geometry: DramGeometry = field(default_factory=DramGeometry)
+    timing: TimingParams = field(default_factory=TimingParams)
+    stages: StageSelection = field(default_factory=StageSelection.full)
+    refresh_mode: str = "zero-refresh"  # 'zero-refresh' | 'conventional' | 'naive'
+    refresh_policy: str = "per-bank"  # 'per-bank' | 'all-bank' (Sec. IV-A)
+    staggered_counters: bool = True
+    celltype_error_rate: float = 0.0
+    cleanse_policy: CleansePolicy = CleansePolicy.ZERO_ON_FREE
+    num_cores: int = 4
+    seed: int = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def scaled(
+        cls,
+        total_bytes: int = 32 << 20,
+        temperature: TemperatureMode = TemperatureMode.EXTENDED,
+        cell_interleave: int = 64,
+        row_bytes: int = 4096,
+        **overrides,
+    ) -> "SystemConfig":
+        """A Table II-ratio system at reduced capacity.
+
+        ``cell_interleave`` defaults to 64 rows (instead of the
+        device-typical 512) so that scaled memories still contain many
+        true/anti alternations; the codec and detector are agnostic to
+        the value.
+        """
+        rows_per_ar = overrides.pop("rows_per_ar", 128)
+        geometry = DramGeometry.scaled(
+            total_bytes=total_bytes,
+            row_bytes=row_bytes,
+            rows_per_ar=rows_per_ar,
+            cell_interleave=cell_interleave,
+            word_bytes=overrides.pop("word_bytes", 8),
+            line_bytes=overrides.pop("line_bytes", 64),
+        )
+        timing = TimingParams().with_temperature(temperature)
+        return cls(geometry=geometry, timing=timing, **overrides)
+
+    @classmethod
+    def paper(cls, **overrides) -> "SystemConfig":
+        """The full 32 GB Table II configuration (metadata-scale use only)."""
+        return cls(geometry=DramGeometry.paper_config(), **overrides)
+
+    # ------------------------------------------------------------------
+    def conventional(self) -> "SystemConfig":
+        """The matching conventional-refresh baseline configuration."""
+        return replace(self, refresh_mode="conventional")
+
+    def with_temperature(self, temperature: TemperatureMode) -> "SystemConfig":
+        return replace(self, timing=self.timing.with_temperature(temperature))
+
+    def with_stages(self, stages: StageSelection) -> "SystemConfig":
+        return replace(self, stages=stages)
+
+    # ------------------------------------------------------------------
+    def table2(self) -> dict:
+        """The Table II summary of this configuration (for reports)."""
+        g, t = self.geometry, self.timing
+        return {
+            "cores": f"{self.num_cores} cores, out-of-order x86",
+            "memory": (
+                f"{g.total_bytes / (1 << 30):.3g} GB, {g.num_chips} chips, "
+                f"{g.num_banks} banks, {g.row_bytes // 1024} KB row buffer"
+            ),
+            "timing (ns)": (
+                f"tRAS={t.tras_ns:g}, tRCD={t.trcd_ns:g}, tRRD={t.trrd_ns:g}, "
+                f"tFAW={t.tfaw_ns:g}, tRFC={t.trfc_ns:g}"
+            ),
+            "currents (mA)": (
+                f"IDD0={t.currents.idd0:g}, IDD2P={t.currents.idd2p:g}, "
+                f"IDD2N={t.currents.idd2n:g}, IDD3N={t.currents.idd3n:g}, "
+                f"IDD4W={t.currents.idd4w:g}, IDD4R={t.currents.idd4r:g}, "
+                f"IDD5={t.currents.idd5:g}, IDD6={t.currents.idd6:g}, "
+                f"IDD7={t.currents.idd7:g}"
+            ),
+            "retention": f"{t.tret_s * 1000:g} ms ({t.temperature.value})",
+        }

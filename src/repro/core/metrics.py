@@ -1,0 +1,57 @@
+"""Run-level result containers.
+
+:class:`~repro.dram.refresh.RefreshStats` (re-exported here) carries the
+refresh counters; :class:`RunResult` adds the derived energy and IPC
+views for one complete simulation run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cpu.core import IpcResult
+from repro.dram.refresh import RefreshStats
+from repro.energy.accounting import EnergyReport
+
+__all__ = ["RefreshStats", "RunResult"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything measured over one multi-window simulation run."""
+
+    refresh: RefreshStats
+    energy: EnergyReport
+    ipc: Optional[IpcResult] = None
+    allocated_fraction: float = 1.0
+    benchmark: str = ""
+
+    @property
+    def normalized_refresh(self) -> float:
+        """Refresh operations vs. conventional (Fig. 14's y-axis)."""
+        return self.refresh.normalized_refresh()
+
+    @property
+    def refresh_reduction(self) -> float:
+        return self.refresh.reduction()
+
+    @property
+    def normalized_energy(self) -> float:
+        """Refresh-path energy vs. conventional (Fig. 15's y-axis)."""
+        return self.energy.normalized()
+
+    @property
+    def normalized_ipc(self) -> Optional[float]:
+        return self.ipc.normalized_ipc if self.ipc else None
+
+    def summary(self) -> str:
+        parts = [
+            f"benchmark={self.benchmark or '-'}",
+            f"alloc={self.allocated_fraction:.0%}",
+            f"refresh={self.normalized_refresh:.3f}",
+            f"energy={self.normalized_energy:.3f}",
+        ]
+        if self.ipc:
+            parts.append(f"ipc={self.ipc.normalized_ipc:.3f}")
+        return " ".join(parts)

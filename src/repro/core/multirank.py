@@ -1,0 +1,109 @@
+"""Multi-rank DIMM aggregation (paper Sec. II-A memory hierarchy).
+
+A DIMM consists of several ranks; each rank is its own storage and
+refresh domain — a rank's chips act in unison, and the memory
+controller schedules per-rank (or per-bank within rank) AR commands
+independently.  Nothing couples ranks in any mechanism this
+reproduction models, so a multi-rank DIMM is exactly a set of parallel
+single-rank systems with shared configuration and aggregated
+accounting.  :class:`MultiRankSystem` provides that aggregation:
+
+* population spreads the OS's allocated share across ranks (pages are
+  rank-interleaved at the 64-page unit granularity in real systems;
+  here each rank draws the same allocation fraction);
+* every rank runs the same number of retention windows;
+* refresh statistics, energy and IPC aggregate across ranks (IPC uses
+  the rank-average unavailability: a demand access is served by the
+  rank that owns its address).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.core.config import SystemConfig
+from repro.core.metrics import RunResult
+from repro.core.zero_refresh import ZeroRefreshSystem
+from repro.dram.refresh import RefreshStats
+from repro.energy.accounting import EnergyReport
+from repro.workloads.benchmarks import BenchmarkProfile
+
+
+class MultiRankSystem:
+    """A DIMM of ``num_ranks`` independent single-rank systems."""
+
+    def __init__(self, config: SystemConfig, num_ranks: int = 2):
+        if num_ranks < 1:
+            raise ValueError("need at least one rank")
+        self.config = config
+        self.num_ranks = num_ranks
+        self.ranks: List[ZeroRefreshSystem] = [
+            ZeroRefreshSystem(replace(config, seed=config.seed + 1000 * r))
+            for r in range(num_ranks)
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        return self.num_ranks * self.config.geometry.total_bytes
+
+    def populate(self, profile: BenchmarkProfile,
+                 allocated_fraction: float = 1.0, **kwargs) -> None:
+        """Fill every rank with its share of the workload."""
+        for rank in self.ranks:
+            rank.populate(profile, allocated_fraction=allocated_fraction,
+                          **kwargs)
+
+    def run_windows(self, n_windows: int = 8,
+                    warmup_windows: int = 1) -> RunResult:
+        """Run all ranks and aggregate their results.
+
+        The per-rank results of the latest call stay available as
+        ``last_rank_results`` for rank-level inspection.
+        """
+        results = [
+            rank.run_windows(n_windows, warmup_windows=warmup_windows)
+            for rank in self.ranks
+        ]
+        self.last_rank_results = results
+        refresh = RefreshStats()
+        for result in results:
+            refresh = refresh.merged_with(result.refresh)
+        # windows are concurrent across ranks, not sequential
+        refresh.windows = n_windows
+        energy = EnergyReport(
+            refresh_nj=sum(r.energy.refresh_nj for r in results),
+            ebdi_nj=sum(r.energy.ebdi_nj for r in results),
+            sram_leakage_nj=sum(r.energy.sram_leakage_nj for r in results),
+            status_access_nj=sum(r.energy.status_access_nj for r in results),
+            baseline_refresh_nj=sum(r.energy.baseline_refresh_nj
+                                    for r in results),
+            duration_s=results[0].energy.duration_s,
+        )
+        # A demand access is served by one rank; the felt unavailability
+        # is the per-rank average, so so is the IPC.
+        ipc = results[0].ipc
+        if ipc is not None and len(results) > 1:
+            mean_u = sum(r.ipc.unavailability for r in results) / len(results)
+            system = self.ranks[0]
+            ipc = type(ipc)(
+                benchmark=ipc.benchmark,
+                baseline_ipc=ipc.baseline_ipc,
+                ipc=system.core_model.ipc_at(system.profile, mean_u),
+                baseline_unavailability=ipc.baseline_unavailability,
+                unavailability=mean_u,
+            )
+        return RunResult(
+            refresh=refresh,
+            energy=energy,
+            ipc=ipc,
+            allocated_fraction=results[0].allocated_fraction,
+            benchmark=results[0].benchmark,
+        )
+
+    def verify_integrity(self) -> bool:
+        return all(rank.verify_integrity() for rank in self.ranks)
+
+    def discharged_fraction(self) -> float:
+        return sum(r.discharged_fraction() for r in self.ranks) / self.num_ranks

@@ -1,0 +1,367 @@
+"""The complete ZERO-REFRESH system (paper Fig. 7, both sides).
+
+:class:`ZeroRefreshSystem` wires every substrate together:
+
+* CPU side — cell-type predictor, value-transformation codec, memory
+  controller (EBDI op counting);
+* DRAM side — device with true/anti cell layout, refresh engine with
+  staggered counters, discharged-status and access-bit tables;
+* OS — page allocator with the configured cleansing policy;
+* instrumentation — energy accountant, bank-availability model,
+  analytical core model, retention tracker.
+
+Typical use::
+
+    config = SystemConfig.scaled(total_bytes=32 << 20)
+    system = ZeroRefreshSystem(config)
+    system.populate(benchmark_profile("mcf"), allocated_fraction=0.70)
+    result = system.run_windows(8)
+    print(result.normalized_refresh, result.normalized_energy)
+
+``populate`` fills the allocated share of memory with profile content
+(the measured-before-start state, so the first window derives the
+status tables); ``run_windows`` then simulates retention windows with
+the profile's write traffic interleaved between AR commands exactly as
+the access-bit protocol sees it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.controller.memctrl import MemoryController
+from repro.controller.scheduler import BankAvailabilityModel
+from repro.core.config import SystemConfig
+from repro.core.metrics import RunResult
+from repro.cpu.core import AnalyticalCoreModel
+from repro.dram.device import DramDevice
+from repro.dram.geometry import DramGeometry
+from repro.dram.refresh import RefreshEngine, RefreshStats
+from repro.dram.retention import RetentionTracker
+from repro.energy.accounting import EnergyAccountant
+from repro.osmodel.pages import PageAllocator
+from repro.transform.celltype import CellTypeLayout, CellTypePredictor
+from repro.transform.codec import ValueTransformCodec
+from repro.workloads.access import WorkingSetTraceGenerator
+from repro.workloads.benchmarks import SEGMENT_ALIGN_PAGES, BenchmarkProfile
+from repro.workloads.synthetic import generate_lines
+
+
+class ZeroRefreshSystem:
+    """End-to-end simulated system under one :class:`SystemConfig`."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        geometry: DramGeometry = config.geometry
+        self.rng = np.random.default_rng(config.seed)
+        self.layout = CellTypeLayout(interleave=geometry.cell_interleave)
+        self.device = DramDevice(geometry, self.layout)
+        self.predictor = CellTypePredictor.from_layout(
+            self.layout,
+            geometry.rows_per_bank,
+            error_rate=config.celltype_error_rate,
+            rng=self.rng,
+        )
+        self.codec = ValueTransformCodec(
+            self.predictor,
+            num_chips=geometry.num_chips,
+            word_bytes=geometry.word_bytes,
+            line_bytes=geometry.line_bytes,
+            stages=config.stages,
+        )
+        self.controller = MemoryController(self.device, self.codec)
+        if config.refresh_mode == "hybrid":
+            from repro.baselines.hybrid import HybridRefreshEngine
+
+            self.engine = HybridRefreshEngine(
+                self.device,
+                timing=config.timing,
+                staggered=config.staggered_counters,
+                policy=config.refresh_policy,
+            )
+        else:
+            self.engine = RefreshEngine(
+                self.device,
+                timing=config.timing,
+                mode=config.refresh_mode,
+                staggered=config.staggered_counters,
+                policy=config.refresh_policy,
+            )
+        self.allocator = PageAllocator(
+            self.controller, policy=config.cleanse_policy, rng=self.rng
+        )
+        self.availability = BankAvailabilityModel(
+            timing=config.timing, num_banks=geometry.num_banks
+        )
+        self.accountant = EnergyAccountant(
+            geometry,
+            config.timing,
+            reference_geometry=DramGeometry.paper_config(),
+        )
+        self.core_model = AnalyticalCoreModel(self.availability)
+        # Hybrid recency skipping is only sound with a retention guard
+        # band (schedule twice as fast as the true retention time); the
+        # integrity checker uses the matching physical retention.
+        physical_tret = config.timing.tret_s * (
+            2.0 if config.refresh_mode == "hybrid" else 1.0
+        )
+        self.retention = RetentionTracker(self.device, physical_tret)
+        self.profile: Optional[BenchmarkProfile] = None
+        self._page_class: Dict[int, str] = {}
+        self._trace_generator: Optional[WorkingSetTraceGenerator] = None
+        self.time_s = 0.0
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+    def populate(
+        self,
+        profile: BenchmarkProfile,
+        allocated_fraction: float = 1.0,
+        working_set_fraction: float = 0.05,
+        accesses_per_window: Optional[int] = None,
+        write_fraction: float = 0.25,
+    ) -> None:
+        """Allocate memory and fill it with the benchmark's content.
+
+        Allocation is performed in 64-page units (buddy-allocator-like
+        physical contiguity) so the content keeps the class homogeneity
+        of real segments; the idle remainder stays zero (the
+        zero-on-free state).  A working-set trace generator is prepared
+        for :meth:`run_windows`; ``accesses_per_window`` defaults to a
+        value proportional to the profile's MPKI.
+        """
+        self.profile = profile
+        pages = self._allocate_units(allocated_fraction)
+        pages.sort()
+        # Idle pages have been cleansed by the zero-on-free policy since
+        # boot; their zero content went through the transformation, so
+        # anti-cell rows hold the complemented (all-ones) image.
+        self._zero_fill_pages(self.allocator.free_pages)
+        if len(pages):
+            content = profile.generate_pages(len(pages), self.rng,
+                                             self.config.geometry.lines_per_page)
+            self.controller.populate_pages(pages, self._as_words(content),
+                                           self.time_s, notify=False)
+            self._record_classes(pages, profile)
+        # A longer retention window sees proportionally more of the
+        # program's footprint written between two refreshes of a row —
+        # the Fig. 16 effect (64 ms vs 32 ms): both the hot-region reach
+        # and the access count scale with the window.
+        window_scale = self.config.timing.tret_s / 0.032
+        ws_size = (
+            max(1, int(len(pages) * working_set_fraction * window_scale))
+            if len(pages) else 0
+        )
+        ws_size = min(ws_size, len(pages))
+        if ws_size:
+            # The working set is a *contiguous* slice of the allocated
+            # pages: within one retention window a program hammers a hot
+            # region, not uniformly scattered pages.  This is what keeps
+            # the per-window dirty-set fraction bounded (and what makes
+            # the access-bit filter effective at the paper's scale).
+            # Align the hot region to the AR-set span (rows_per_ar rows
+            # in each bank = rows_per_ar * num_banks consecutive pages)
+            # so it dirties the minimum number of refresh sets, as a
+            # region-local working set does at deployment scale.
+            span = self.config.geometry.rows_per_ar * self.config.geometry.num_banks
+            limit = max(1, len(pages) - ws_size + 1)
+            start = int(self.rng.integers(0, limit))
+            start = (start // span) * span
+            working_set = pages[start:start + ws_size]
+            if accesses_per_window is None:
+                # Traffic proportional to memory intensity and to the
+                # window length, normalised so the hot region is
+                # revisited every window without flooding every AR set
+                # of the scaled memory.
+                accesses_per_window = max(
+                    64, int(profile.mpki * len(pages) / 16 * window_scale)
+                )
+            self._trace_generator = WorkingSetTraceGenerator(
+                working_set_pages=np.sort(working_set),
+                lines_per_page=self.config.geometry.lines_per_page,
+                accesses_per_window=accesses_per_window,
+                write_fraction=write_fraction,
+                rng=self.rng,
+            )
+        else:
+            self._trace_generator = None
+
+    def _allocate_units(self, fraction: float) -> np.ndarray:
+        """Allocate a fraction of memory in contiguous 64-page units."""
+        total_pages = self.allocator.total_pages
+        unit = min(SEGMENT_ALIGN_PAGES, total_pages)
+        n_units = total_pages // unit
+        want_units = int(round(fraction * n_units))
+        chosen = self.rng.choice(n_units, size=want_units, replace=False)
+        pages = (chosen[:, None] * unit + np.arange(unit)).ravel()
+        # Mark them allocated through the allocator (bypassing its FIFO
+        # order, which models an arbitrary long-running allocation state).
+        self.allocator._allocated[pages] = True
+        self.allocator._free_list = [
+            p for p in self.allocator._free_list if not self.allocator._allocated[p]
+        ]
+        return pages
+
+    def _zero_fill_pages(self, pages: np.ndarray) -> None:
+        """Store transform-encoded zeros into the given pages.
+
+        Fast path equivalent to ``controller.zero_pages``: encoding a
+        zero line is exactly all-0 stored bits for true-cell rows and
+        all-1 for anti-cell rows (every pipeline stage maps zero to
+        zero, then the anti complement flips it) — verified against the
+        codec by ``tests/core/test_system.py``.
+        """
+        if len(pages) == 0:
+            return
+        banks, rows = self.controller.mapper.page_rows(np.asarray(pages))
+        banks = np.ravel(np.atleast_1d(banks))
+        rows = np.ravel(np.atleast_1d(rows))
+        full = self.device.banks[0]._full
+        anti = self.predictor.predict_anti(rows)
+        for bank_idx in np.unique(banks):
+            bank = self.device.banks[int(bank_idx)]
+            mask = banks == bank_idx
+            bank_rows = rows[mask]
+            bank.data[bank_rows] = np.where(anti[mask], full, 0)[
+                :, None, None, None
+            ].astype(bank.data.dtype)
+            bank.dirty[bank_rows] = True
+            bank.last_refresh[bank_rows] = self.time_s
+
+    def _record_classes(self, pages: np.ndarray, profile: BenchmarkProfile) -> None:
+        """Remember each page's content class so writes stay in-class."""
+        cursor = 0
+        for name, count in profile.segment_classes(len(pages), self.rng):
+            for page in pages[cursor:cursor + count]:
+                self._page_class[int(page)] = name
+            cursor += count
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+    def run_windows(self, n_windows: int = 8, warmup_windows: int = 1,
+                    compute_ipc: bool = True) -> RunResult:
+        """Simulate retention windows with interleaved write traffic.
+
+        ``warmup_windows`` are simulated but not measured: the first
+        pass over freshly populated memory must refresh everything while
+        it derives the discharged-status table, a transient the paper's
+        fast-forwarded simulations have already passed.  The result
+        aggregates the ``n_windows`` measured windows (the paper uses 8:
+        256 ms at the 32 ms extended rate).
+        """
+        for _ in range(warmup_windows):
+            self.engine.run_window(self.time_s)
+            self.time_s += self.config.timing.tret_s
+        self.controller.ebdi_ops = 0
+        total = RefreshStats()
+        for _ in range(n_windows):
+            trace = (
+                self._trace_generator.window_trace()
+                if self._trace_generator is not None
+                else None
+            )
+            hook = self._make_write_hook(trace) if trace is not None else None
+            delta = self.engine.run_window(self.time_s, write_hook=hook)
+            total = total.merged_with(delta)
+            self.time_s += self.config.timing.tret_s
+        energy = self.accountant.report(total, ebdi_ops=self.controller.ebdi_ops)
+        ipc = None
+        if compute_ipc and self.profile is not None:
+            ipc = self.core_model.evaluate(self.profile, total)
+        return RunResult(
+            refresh=total,
+            energy=energy,
+            ipc=ipc,
+            allocated_fraction=self.allocator.allocated_fraction,
+            benchmark=self.profile.name if self.profile else "",
+        )
+
+    def _make_write_hook(self, trace):
+        """Spread a window's traffic uniformly between AR command slots.
+
+        Writes go through the controller (new in-class values).  Reads
+        matter only to access-recency mechanisms: when the engine is
+        recency-aware (hybrid mode) they are applied as row activations
+        that recharge the row and feed the recency table.
+        """
+        recency_aware = hasattr(self.engine, "_note_access")
+        writes = trace.writes
+        reads = trace.reads if recency_aware else np.empty(0, dtype=np.int64)
+        window = self.config.timing.tret_s
+        t0 = self.time_s
+        wtimes = t0 + np.sort(self.rng.random(len(writes))) * window
+        rtimes = t0 + np.sort(self.rng.random(len(reads))) * window
+        state = {"w": 0, "r": 0}
+
+        def hook(span_start: float, span_end: float) -> None:
+            w0 = state["w"]
+            w1 = w0
+            while w1 < len(writes) and wtimes[w1] < span_end:
+                w1 += 1
+            if w1 > w0:
+                self._apply_writes(writes[w0:w1], span_start)
+                state["w"] = w1
+            r0 = state["r"]
+            r1 = r0
+            while r1 < len(reads) and rtimes[r1] < span_end:
+                r1 += 1
+            if r1 > r0:
+                self._apply_reads(reads[r0:r1], span_start)
+                state["r"] = r1
+
+        return hook
+
+    def _apply_reads(self, line_addrs: np.ndarray, time_s: float) -> None:
+        """Row activations from demand reads: recharge + recency note."""
+        banks, rows, _ = self.controller.mapper.line_location(line_addrs)
+        banks = np.atleast_1d(banks)
+        rows = np.atleast_1d(rows)
+        for bank_idx in np.unique(banks):
+            bank_rows = np.unique(rows[banks == bank_idx])
+            bank = self.device.banks[int(bank_idx)]
+            bank.last_refresh[bank_rows] = np.maximum(
+                bank.last_refresh[bank_rows], time_s
+            )
+            for row in bank_rows:
+                self.engine._note_access(int(bank_idx), int(row))
+
+    def _as_words(self, lines: np.ndarray) -> np.ndarray:
+        """Re-view 64-bit content in the configured word size.
+
+        Content generators emit 8-byte words; for the 4 B word-size
+        ablation the same bytes are re-sliced into twice as many 32-bit
+        words (a pure view, values unchanged)."""
+        if self.codec.dtype == lines.dtype:
+            return lines
+        flat = np.ascontiguousarray(lines).view(self.codec.dtype)
+        return flat.reshape(
+            lines.shape[:-1] + (self.config.geometry.words_per_line,)
+        )
+
+    def _apply_writes(self, line_addrs: np.ndarray, time_s: float) -> None:
+        """Write new in-class values to the given lines."""
+        lines = np.empty((len(line_addrs), 8), dtype=np.uint64)
+        pages = line_addrs // self.config.geometry.lines_per_page
+        for i, page in enumerate(pages):
+            name = self._page_class.get(int(page), "zero")
+            lines[i] = generate_lines(name, 1, self.rng)[0]
+        self.controller.write_lines(line_addrs, self._as_words(lines), time_s)
+
+    # ------------------------------------------------------------------
+    # convenience measurements
+    # ------------------------------------------------------------------
+    def discharged_fraction(self) -> float:
+        """Current fraction of fully-discharged logical rows."""
+        return self.device.discharged_row_fraction()
+
+    def verify_integrity(self) -> bool:
+        """True when no charged cell has outlived the retention window."""
+        return self.retention.verify_no_loss(self.time_s)
+
+    def read_page(self, page: int) -> np.ndarray:
+        """Read a page back through the full inverse transformation."""
+        return self.controller.read_page(page, self.time_s)

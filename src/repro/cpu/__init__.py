@@ -1,0 +1,15 @@
+"""CPU timing model for the IPC evaluation (paper Fig. 17).
+
+The paper models 4-way out-of-order cores with McSimA+; what its IPC
+result actually measures is how much of the refresh-induced
+bank-unavailable time each benchmark feels.  :mod:`repro.cpu.core`
+captures that with a closed-form stall model parameterised by each
+benchmark's memory intensity, fed by the measured refresh statistics
+through :class:`repro.controller.scheduler.BankAvailabilityModel`.
+"""
+
+from repro.cpu.core import AnalyticalCoreModel, IpcResult
+from repro.cpu.trace import ProgramTrace, TraceDrivenDriver
+
+__all__ = ["AnalyticalCoreModel", "IpcResult", "ProgramTrace",
+           "TraceDrivenDriver"]

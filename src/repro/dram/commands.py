@@ -1,0 +1,171 @@
+"""Command-level DRAM timing model (the DRAMSim2-ish substrate).
+
+The refresh engine counts *what* is refreshed; this module models *when*
+commands may legally issue.  It implements the JEDEC-style constraints
+of Table II for a single rank:
+
+* ``tRCD`` — ACT -> column command (RD/WR) to the same bank;
+* ``tRAS`` — ACT -> PRE to the same bank;
+* ``tRP``  — PRE -> ACT to the same bank (derived: tRC - tRAS);
+* ``tRC``  — ACT -> ACT to the same bank;
+* ``tRRD`` — ACT -> ACT to *different* banks;
+* ``tFAW`` — at most four ACTs per rolling tFAW window (rank);
+* ``tRFC`` — REF -> any command to the refreshed scope.
+
+:class:`CommandTimer` validates and timestamps a command stream (used
+by tests as a protocol checker); :class:`BankTimingState` exposes the
+earliest legal issue time so a scheduler can plan.  Latencies feed the
+bandwidth model: the row-buffer-aware access latency of a demand read
+is what the refresh engine's skipping shortens in practice.
+"""
+
+from __future__ import annotations
+
+import collections
+import enum
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+from repro.dram.timing import TimingParams
+
+
+class Command(enum.Enum):
+    """DRAM commands relevant to the model."""
+
+    ACT = "activate"
+    PRE = "precharge"
+    RD = "read"
+    WR = "write"
+    REF = "refresh"  # per-bank auto refresh
+
+
+class TimingViolation(Exception):
+    """A command was issued before its earliest legal time."""
+
+
+@dataclass
+class IssuedCommand:
+    command: Command
+    bank: int
+    row: Optional[int]
+    time_ns: float
+
+
+@dataclass
+class BankTimingState:
+    """Earliest-legal-time bookkeeping for one bank."""
+
+    last_act_ns: float = float("-inf")
+    last_pre_ns: float = float("-inf")
+    ref_done_ns: float = float("-inf")
+    open_row: Optional[int] = None
+
+    def earliest_act(self, timing: TimingParams) -> float:
+        trp = timing.trc_ns - timing.tras_ns
+        return max(
+            self.last_act_ns + timing.trc_ns,
+            self.last_pre_ns + trp,
+            self.ref_done_ns,
+        )
+
+    def earliest_column(self, timing: TimingParams) -> float:
+        if self.open_row is None:
+            return float("inf")  # needs an ACT first
+        return max(self.last_act_ns + timing.trcd_ns, self.ref_done_ns)
+
+    def earliest_pre(self, timing: TimingParams) -> float:
+        if self.open_row is None:
+            return max(self.last_pre_ns, self.ref_done_ns)
+        return max(self.last_act_ns + timing.tras_ns, self.ref_done_ns)
+
+
+class CommandTimer:
+    """Validates a command stream against the Table II constraints.
+
+    ``issue`` raises :class:`TimingViolation` when a command arrives
+    before its earliest legal time; ``earliest`` answers what that time
+    is, so a scheduler can plan instead of guessing.
+    """
+
+    def __init__(self, timing: TimingParams, num_banks: int = 8):
+        self.timing = timing
+        self.num_banks = num_banks
+        self.banks = [BankTimingState() for _ in range(num_banks)]
+        self.last_act_any_ns = float("-inf")
+        self._act_times: Deque[float] = collections.deque(maxlen=4)
+        self.history: List[IssuedCommand] = []
+
+    # ------------------------------------------------------------------
+    def earliest(self, command: Command, bank: int) -> float:
+        state = self.banks[bank]
+        if command is Command.ACT:
+            t = max(state.earliest_act(self.timing),
+                    self.last_act_any_ns + self.timing.trrd_ns)
+            if len(self._act_times) == 4:
+                t = max(t, self._act_times[0] + self.timing.tfaw_ns)
+            return t
+        if command in (Command.RD, Command.WR):
+            return state.earliest_column(self.timing)
+        if command is Command.PRE:
+            return state.earliest_pre(self.timing)
+        if command is Command.REF:
+            # per-bank REF needs the bank precharged
+            if state.open_row is not None:
+                return float("inf")
+            return max(state.last_pre_ns, state.ref_done_ns)
+        raise ValueError(f"unknown command {command}")
+
+    def issue(self, command: Command, bank: int, time_ns: float,
+              row: Optional[int] = None) -> IssuedCommand:
+        """Issue a command, enforcing every constraint."""
+        if not 0 <= bank < self.num_banks:
+            raise ValueError("bank out of range")
+        legal = self.earliest(command, bank)
+        if time_ns < legal - 1e-9:
+            raise TimingViolation(
+                f"{command.value} to bank {bank} at {time_ns:.1f} ns; "
+                f"earliest legal is {legal:.1f} ns"
+            )
+        state = self.banks[bank]
+        if command is Command.ACT:
+            if state.open_row is not None:
+                raise TimingViolation(
+                    f"ACT to bank {bank} with row {state.open_row} open"
+                )
+            if row is None:
+                raise ValueError("ACT needs a row")
+            state.last_act_ns = time_ns
+            state.open_row = row
+            self.last_act_any_ns = time_ns
+            self._act_times.append(time_ns)
+        elif command in (Command.RD, Command.WR):
+            if row is not None and row != state.open_row:
+                raise TimingViolation(
+                    f"{command.value} to row {row} but row "
+                    f"{state.open_row} is open"
+                )
+        elif command is Command.PRE:
+            state.last_pre_ns = time_ns
+            state.open_row = None
+        elif command is Command.REF:
+            state.ref_done_ns = time_ns + self.timing.trfc_ns
+        issued = IssuedCommand(command, bank, row, time_ns)
+        self.history.append(issued)
+        return issued
+
+    # ------------------------------------------------------------------
+    def access_latency_ns(self, bank: int, row: int, time_ns: float) -> float:
+        """First-order demand-read latency at ``time_ns``.
+
+        Row-buffer hit: just tRCD-equivalent column access.  Miss with a
+        row open: PRE + ACT + RD.  Bank refreshing: wait for tRFC first
+        — the component ZERO-REFRESH's skipping removes.
+        """
+        state = self.banks[bank]
+        trp = self.timing.trc_ns - self.timing.tras_ns
+        wait = max(0.0, state.ref_done_ns - time_ns)
+        if state.open_row == row:
+            return wait + self.timing.trcd_ns
+        if state.open_row is None:
+            return wait + self.timing.trcd_ns + self.timing.trcd_ns
+        return wait + trp + self.timing.trcd_ns + self.timing.trcd_ns

@@ -1,0 +1,193 @@
+"""Rank/chip/bank/row geometry and address decomposition.
+
+The paper's simulated memory (Table II) is 32 GB with 8 chips, 8 banks
+and a 4 KB (rank-level) row buffer.  A *logical row* spans the same row
+index in all chips of the rank — 4 KB split into eight 512 B *chip
+rows*.  An auto-refresh command covers ``rows_per_ar`` consecutive
+logical rows of one bank (128 at 32 GB: ``32 GB / 8192 / 8 banks /
+4 KB``); the discharged-status table tracks one bit per logical row.
+
+Because every reported metric is a ratio against the conventional
+baseline, the model can run with far fewer rows than 32 GB as long as
+the *ratios* are preserved — rows per AR command, chips, banks, row
+size.  :meth:`DramGeometry.scaled` builds such configurations.
+
+Address decomposition maps a line-granularity physical address to
+``(bank, row, line-in-row)`` with rows interleaved round-robin across
+banks (consecutive rows land in different banks), the mapping the paper
+inherits from its DRAMSim2 configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Structural parameters of one DRAM rank.
+
+    Attributes mirror Table II; ``rows_per_bank`` is the scaling knob.
+    """
+
+    num_chips: int = 8
+    num_banks: int = 8
+    rows_per_bank: int = 1024
+    row_bytes: int = 4096
+    line_bytes: int = 64
+    word_bytes: int = 8
+    rows_per_ar: int = 128
+    cell_interleave: int = 512
+
+    def __post_init__(self):
+        if self.row_bytes % (self.num_chips * self.word_bytes) != 0:
+            raise ValueError("row size must split evenly over chips and words")
+        if self.line_bytes % self.word_bytes != 0:
+            raise ValueError("line size must be a multiple of the word size")
+        if self.row_bytes % self.line_bytes != 0:
+            raise ValueError("row size must be a multiple of the line size")
+        if self.rows_per_bank % self.rows_per_ar != 0:
+            raise ValueError("rows_per_bank must be a multiple of rows_per_ar")
+        if self.rows_per_ar % self.num_chips != 0:
+            raise ValueError(
+                "rows_per_ar must be a multiple of num_chips so rotation "
+                "blocks do not straddle AR sets"
+            )
+        if (self.line_bytes // self.word_bytes) % self.num_chips != 0:
+            raise ValueError("words per line must spread evenly over chips")
+
+    # ------------------------------------------------------------------
+    # derived sizes
+    # ------------------------------------------------------------------
+    @property
+    def lines_per_row(self) -> int:
+        """Cachelines in one logical (rank-level) row."""
+        return self.row_bytes // self.line_bytes
+
+    @property
+    def words_per_line(self) -> int:
+        return self.line_bytes // self.word_bytes
+
+    @property
+    def words_per_line_per_chip(self) -> int:
+        return self.words_per_line // self.num_chips
+
+    @property
+    def chip_row_bytes(self) -> int:
+        """Bytes one chip contributes to a logical row."""
+        return self.row_bytes // self.num_chips
+
+    @property
+    def words_per_chip_row(self) -> int:
+        return self.chip_row_bytes // self.word_bytes
+
+    @property
+    def total_rows(self) -> int:
+        return self.rows_per_bank * self.num_banks
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_rows * self.row_bytes
+
+    @property
+    def total_lines(self) -> int:
+        return self.total_bytes // self.line_bytes
+
+    @property
+    def ar_sets_per_bank(self) -> int:
+        """Auto-refresh sets (one AR command each) per bank per window."""
+        return self.rows_per_bank // self.rows_per_ar
+
+    @property
+    def page_bytes(self) -> int:
+        """OS page size; one 4 KB page == one logical row by default."""
+        return 4096
+
+    @property
+    def lines_per_page(self) -> int:
+        return self.page_bytes // self.line_bytes
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_config(cls) -> "DramGeometry":
+        """The full 32 GB Table II geometry (do not allocate its content!)."""
+        rows_per_bank = (32 << 30) // 4096 // 8
+        return cls(rows_per_bank=rows_per_bank)
+
+    @classmethod
+    def scaled(cls, total_bytes: int, **overrides) -> "DramGeometry":
+        """Geometry with the paper's ratios at a reduced capacity.
+
+        ``total_bytes`` must give a whole number of AR sets per bank
+        (i.e. be a multiple of ``num_banks * rows_per_ar * row_bytes``,
+        4 MB with the defaults).
+        """
+        rows_per_ar = overrides.pop("rows_per_ar", 128)
+        probe = cls(rows_per_bank=rows_per_ar, rows_per_ar=rows_per_ar,
+                    **overrides)
+        denom = probe.num_banks * probe.row_bytes * rows_per_ar
+        if total_bytes % denom != 0:
+            raise ValueError(f"total_bytes must be a multiple of {denom}")
+        rows_per_bank = total_bytes // (probe.num_banks * probe.row_bytes)
+        return cls(
+            rows_per_bank=rows_per_bank,
+            num_chips=probe.num_chips,
+            num_banks=probe.num_banks,
+            row_bytes=probe.row_bytes,
+            line_bytes=probe.line_bytes,
+            word_bytes=probe.word_bytes,
+            rows_per_ar=rows_per_ar,
+            cell_interleave=probe.cell_interleave,
+        )
+
+    # ------------------------------------------------------------------
+    # address decomposition (line granularity)
+    # ------------------------------------------------------------------
+    def decompose_line(self, line_addr) -> Tuple:
+        """Map global line index -> (bank, row, line-in-row).
+
+        Accepts scalars or numpy arrays.  Consecutive logical rows are
+        interleaved round-robin across banks.
+        """
+        line_addr = np.asarray(line_addr)
+        if (line_addr < 0).any() or (line_addr >= self.total_lines).any():
+            raise ValueError("line address out of range")
+        global_row, line_in_row = np.divmod(line_addr, self.lines_per_row)
+        row, bank = np.divmod(global_row, self.num_banks)
+        return bank, row, line_in_row
+
+    def compose_line(self, bank, row, line_in_row):
+        """Inverse of :meth:`decompose_line`."""
+        bank = np.asarray(bank)
+        row = np.asarray(row)
+        line_in_row = np.asarray(line_in_row)
+        if (bank < 0).any() or (bank >= self.num_banks).any():
+            raise ValueError("bank out of range")
+        if (row < 0).any() or (row >= self.rows_per_bank).any():
+            raise ValueError("row out of range")
+        if (line_in_row < 0).any() or (line_in_row >= self.lines_per_row).any():
+            raise ValueError("line-in-row out of range")
+        return (row * self.num_banks + bank) * self.lines_per_row + line_in_row
+
+    def decompose_byte(self, byte_addr) -> Tuple:
+        """Map byte address -> (bank, row, line-in-row, byte-in-line)."""
+        byte_addr = np.asarray(byte_addr)
+        line_addr, offset = np.divmod(byte_addr, self.line_bytes)
+        bank, row, line_in_row = self.decompose_line(line_addr)
+        return bank, row, line_in_row, offset
+
+    def ar_set_of_row(self, row) -> np.ndarray:
+        """AR set index covering a (bank-local) row."""
+        return np.asarray(row) // self.rows_per_ar
+
+    def rows_of_ar_set(self, ar_set: int) -> np.ndarray:
+        """Bank-local rows covered by AR set ``ar_set`` (ascending)."""
+        if not 0 <= ar_set < self.ar_sets_per_bank:
+            raise ValueError("AR set out of range")
+        start = ar_set * self.rows_per_ar
+        return np.arange(start, start + self.rows_per_ar)

@@ -1,0 +1,106 @@
+"""Cell decay and data-integrity validation.
+
+A DRAM cell's capacitor leaks: a *charged* cell that is not recharged
+within the retention window loses its value, while a *discharged* cell
+has nothing to lose — the physical property the whole paper rests on
+(Sec. I).  :class:`RetentionTracker` models that decay against the
+per-(row, chip) recharge timestamps the banks maintain, and is used by
+
+* integrity tests, proving that ZERO-REFRESH's skipping never lets a
+  charged cell go overdue, and
+* failure-injection tests, showing that a *broken* tracker (e.g. one
+  that skips charged rows) visibly corrupts data in this model.
+
+Decay is applied lazily: :meth:`RetentionTracker.decay` scans for
+overdue chip slices and, for each, drives every cell to the discharged
+state (stored bits become the row's discharged read value).  Slices
+that were already fully discharged decay to themselves — skipping them
+is safe by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.dram.device import DramDevice
+
+
+@dataclass
+class DecayEvent:
+    """A chip slice that went overdue while holding charge (data loss)."""
+
+    bank: int
+    row: int
+    chip: int
+    time_s: float
+
+
+@dataclass
+class DecayReport:
+    """Outcome of one decay scan."""
+
+    overdue_slices: int = 0
+    corrupted: List[DecayEvent] = field(default_factory=list)
+
+    @property
+    def data_loss(self) -> bool:
+        return bool(self.corrupted)
+
+
+class RetentionTracker:
+    """Applies capacitor decay to a device and reports integrity."""
+
+    def __init__(self, device: DramDevice, tret_s: float):
+        if tret_s <= 0:
+            raise ValueError("retention window must be positive")
+        self.device = device
+        self.tret_s = tret_s
+
+    def overdue(self, time_s: float) -> List[Tuple[int, int, int]]:
+        """(bank, row, chip) slices beyond the retention window."""
+        result = []
+        for bank_idx, bank in enumerate(self.device.banks):
+            for row, chip in bank.overdue_slices(time_s, self.tret_s):
+                result.append((bank_idx, int(row), int(chip)))
+        return result
+
+    def decay(self, time_s: float) -> DecayReport:
+        """Decay every overdue slice; report those that held charge.
+
+        Overdue slices are driven to the fully-discharged pattern and
+        their timestamps reset (a decayed cell is stable).  A slice that
+        contained any charged cell is recorded as corrupted.
+        """
+        report = DecayReport()
+        for bank_idx, bank in enumerate(self.device.banks):
+            pairs = bank.overdue_slices(time_s, self.tret_s)
+            if not len(pairs):
+                continue
+            rows = pairs[:, 0]
+            per_chip = bank.detect_discharged_per_chip(rows)
+            for (row, chip), discharged_row in zip(pairs, per_chip):
+                report.overdue_slices += 1
+                if not discharged_row[chip]:
+                    report.corrupted.append(
+                        DecayEvent(bank_idx, int(row), int(chip), time_s)
+                    )
+                target = bank._full if bank.is_anti_row(int(row)) else 0
+                bank.data[int(row), int(chip)] = target
+                bank.last_refresh[int(row), int(chip)] = time_s
+        return report
+
+    def verify_no_loss(self, time_s: float) -> bool:
+        """True when no charged slice is overdue at ``time_s``."""
+        for bank_idx, bank in enumerate(self.device.banks):
+            pairs = bank.overdue_slices(time_s, self.tret_s)
+            if not len(pairs):
+                continue
+            rows = pairs[:, 0]
+            per_chip = bank.detect_discharged_per_chip(rows)
+            for (row, chip), discharged_row in zip(pairs, per_chip):
+                if not discharged_row[chip]:
+                    return False
+        return True

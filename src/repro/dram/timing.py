@@ -1,0 +1,103 @@
+"""DRAM timing, temperature modes and Table II parameters.
+
+The refresh cadence follows Sec. II-C of the paper: the full capacity
+must be refreshed once per retention window ``tRET`` (64 ms at normal
+temperature, 32 ms above 85 C), split over ``AR_COMMANDS_PER_WINDOW`` =
+8192 auto-refresh commands, one every ``tREFI = tRET / 8192``
+(7.8 us at 64 ms).  Each command keeps the target busy for ``tRFC``.
+
+Current (IDD) parameters come straight from Table II and feed the
+Micron-calculator-style power model in :mod:`repro.energy.dram_power`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+AR_COMMANDS_PER_WINDOW = 8192
+"""Auto-refresh commands per retention window (DDRx standard)."""
+
+
+class TemperatureMode(enum.Enum):
+    """Operating temperature range and the matching retention window."""
+
+    NORMAL = "normal"  # <= 85 C, tRET = 64 ms
+    EXTENDED = "extended"  # > 85 C, tRET = 32 ms
+
+    @property
+    def tret_s(self) -> float:
+        """Retention window in seconds (paper Sec. II-C)."""
+        return 0.064 if self is TemperatureMode.NORMAL else 0.032
+
+
+@dataclass(frozen=True)
+class CurrentParams:
+    """DDR4 IDD currents in mA (Table II)."""
+
+    idd0: float = 23.0  # one-bank activate-precharge
+    idd1: float = 30.0  # one-bank activate-read-precharge
+    idd2p: float = 7.0  # precharge power-down standby
+    idd2n: float = 12.0  # precharge standby
+    idd3n: float = 8.0  # active standby (Table II lists IDD3)
+    idd4w: float = 58.0  # burst write
+    idd4r: float = 60.0  # burst read
+    idd5: float = 120.0  # burst refresh
+    idd6: float = 8.0  # self refresh
+    idd7: float = 105.0  # bank interleave read
+
+    vdd: float = 1.2  # DDR4 supply voltage (V)
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Memory timing in nanoseconds (Table II) plus the refresh cadence.
+
+    ``trfc_ns`` is the per-command refresh busy time.  Table II lists
+    tRFC = 28 ns for the simulated per-bank refresh configuration; real
+    all-bank DDR4 values (260-550 ns depending on density) are used by
+    the capacity sweep in :mod:`repro.energy.dram_power`.
+    """
+
+    tras_ns: float = 28.0
+    trcd_ns: float = 11.0
+    trrd_ns: float = 5.0
+    tfaw_ns: float = 24.0
+    trfc_ns: float = 28.0
+    trc_ns: float = 39.0  # tRAS + tRP
+    clock_ghz: float = 1.2  # DDR4-2400 -> 1.2 GHz command clock
+    temperature: TemperatureMode = TemperatureMode.EXTENDED
+    currents: CurrentParams = field(default_factory=CurrentParams)
+
+    @property
+    def tret_s(self) -> float:
+        """Retention window (seconds) for the current temperature mode."""
+        return self.temperature.tret_s
+
+    @property
+    def trefi_s(self) -> float:
+        """Interval between auto-refresh commands (seconds)."""
+        return self.tret_s / AR_COMMANDS_PER_WINDOW
+
+    @property
+    def trefi_ns(self) -> float:
+        return self.trefi_s * 1e9
+
+    def per_bank_trefi_s(self, num_banks: int) -> float:
+        """Per-bank AR cadence: commands arrive ``num_banks`` x as often
+        (paper Sec. II-C, per-bank refresh)."""
+        return self.trefi_s / num_banks
+
+    def with_temperature(self, temperature: TemperatureMode) -> "TimingParams":
+        """Copy with a different temperature mode."""
+        return TimingParams(
+            tras_ns=self.tras_ns,
+            trcd_ns=self.trcd_ns,
+            trrd_ns=self.trrd_ns,
+            tfaw_ns=self.tfaw_ns,
+            trfc_ns=self.trfc_ns,
+            trc_ns=self.trc_ns,
+            clock_ghz=self.clock_ghz,
+            temperature=temperature,
+            currents=self.currents,
+        )

@@ -1,0 +1,128 @@
+"""Retention-time variation and VRT (paper Secs. I, II-D).
+
+Retention-aware schemes (VRA, RAIDR) exploit that only a tiny fraction
+of cells retain for barely 64 ms while the vast majority last much
+longer.  Their Achilles heel is *Variable Retention Time* (VRT): cells
+spontaneously toggle between a long- and a short-retention state
+(metastable traps), so a retention profile measured once goes stale —
+the criticism the paper levels at this line of work (and the reason
+AVATAR continuously scrubs).
+
+This module provides the physical substrate both for the RAIDR baseline
+and for the VRT-risk analysis:
+
+* :class:`RetentionProfile` — per-row retention times.  Following the
+  measurement literature, the *cell* tail is log-normal with a small
+  weak-cell population; a row's retention is its weakest cell's, which
+  concentrates rows near the guardband while leaving most comfortably
+  above it.
+* :class:`VrtProcess` — a Poisson process of per-row VRT flips; a flip
+  re-draws the row's retention, possibly dropping a "strong" row below
+  the period its bin guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RetentionProfile:
+    """Per-row retention times (seconds) of one memory."""
+
+    row_retention_s: np.ndarray
+
+    def __post_init__(self):
+        if (self.row_retention_s <= 0).any():
+            raise ValueError("retention times must be positive")
+
+    def __len__(self) -> int:
+        return len(self.row_retention_s)
+
+    @property
+    def weak_fraction(self) -> float:
+        """Fraction of rows below 2x the 64 ms base period."""
+        return float((self.row_retention_s < 0.128).mean())
+
+    def rows_below(self, period_s: float) -> np.ndarray:
+        """Rows whose retention cannot sustain ``period_s``."""
+        return np.flatnonzero(self.row_retention_s < period_s)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def sample(
+        cls,
+        num_rows: int,
+        cells_per_row: int = 32768,
+        median_cell_s: float = 30.0,
+        sigma: float = 0.6,
+        weak_cell_fraction: float = 2e-7,
+        weak_scale_s: float = 0.15,
+        rng: Optional[np.random.Generator] = None,
+        floor_s: float = 0.064,
+    ) -> "RetentionProfile":
+        """Draw a profile with a realistic weak-cell tail.
+
+        The bulk cell population is log-normal (median ~10 s); a rare
+        exponential weak population models the short-retention tail the
+        64 ms standard guards against.  A row's retention is the
+        minimum over its cells, computed via the closed-form minimum of
+        the mixture rather than materialising every cell.  ``floor_s``
+        asserts the standard guarantee: no row below 64 ms ships.
+        """
+        rng = rng or np.random.default_rng()
+        # P(row has >=1 weak cell) with per-cell prob p:
+        p_weak_row = 1.0 - (1.0 - weak_cell_fraction) ** cells_per_row
+        has_weak = rng.random(num_rows) < p_weak_row
+        # Bulk: minimum of many lognormals ~ left tail; sample via the
+        # probability-integral transform of the min: U^(1/n) quantile.
+        u = rng.random(num_rows) ** (1.0 / cells_per_row)
+        from scipy import stats
+
+        bulk_min = stats.lognorm.ppf(1.0 - u, s=sigma,
+                                     scale=median_cell_s)
+        weak = floor_s + rng.exponential(weak_scale_s, size=num_rows)
+        retention = np.where(has_weak, np.minimum(weak, bulk_min), bulk_min)
+        return cls(row_retention_s=np.maximum(retention, floor_s))
+
+
+class VrtProcess:
+    """Poisson VRT flips re-drawing per-row retention over time."""
+
+    def __init__(self, profile: RetentionProfile,
+                 flips_per_row_per_hour: float = 1e-4,
+                 rng: Optional[np.random.Generator] = None):
+        if flips_per_row_per_hour < 0:
+            raise ValueError("flip rate cannot be negative")
+        self.retention_s = profile.row_retention_s.copy()
+        self.rate_per_s = flips_per_row_per_hour / 3600.0
+        self.rng = rng or np.random.default_rng()
+        self.total_flips = 0
+
+    def advance(self, dt_s: float) -> np.ndarray:
+        """Advance time; returns the rows that flipped.
+
+        A flipped row re-draws retention from the weak-tail regime with
+        probability 1/2 (trap captured) or relaxes back to a strong
+        value — the two-state telegraph behaviour observed in VRT
+        studies.
+        """
+        p_flip = 1.0 - np.exp(-self.rate_per_s * dt_s)
+        flipped = np.flatnonzero(self.rng.random(len(self.retention_s)) < p_flip)
+        if len(flipped):
+            to_weak = self.rng.random(len(flipped)) < 0.5
+            weak_vals = 0.064 + self.rng.exponential(0.15, size=len(flipped))
+            strong_vals = self.rng.lognormal(np.log(5.0), 0.8,
+                                             size=len(flipped))
+            self.retention_s[flipped] = np.where(
+                to_weak, weak_vals, np.maximum(strong_vals, 0.064)
+            )
+            self.total_flips += len(flipped)
+        return flipped
+
+    def unsafe_rows(self, assigned_period_s: np.ndarray) -> np.ndarray:
+        """Rows whose *current* retention is below their refresh period."""
+        return np.flatnonzero(self.retention_s < assigned_period_s)

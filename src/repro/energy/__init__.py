@@ -1,0 +1,28 @@
+"""Energy modelling: DDR4 device power, SRAM costs, system accounting.
+
+* :mod:`repro.energy.dram_power` — Micron-calculator-style DDR4 power
+  model from the Table II IDD currents (drives Fig. 4).
+* :mod:`repro.energy.sram` — CACTI-anchored SRAM leakage/area estimates
+  (the Sec. IV-B 337.14 mW vs 2.71 mW comparison).
+* :mod:`repro.energy.accounting` — refresh-path energy of a run
+  including all ZERO-REFRESH overheads (drives Fig. 15).
+"""
+
+from repro.energy.accounting import EBDI_ENERGY_PJ, EnergyAccountant, EnergyReport
+from repro.energy.dram_power import (
+    TRFC_BY_DENSITY_GBIT,
+    DevicePowerBreakdown,
+    DramPowerModel,
+)
+from repro.energy.sram import SramEstimate, SramModel
+
+__all__ = [
+    "DevicePowerBreakdown",
+    "DramPowerModel",
+    "EBDI_ENERGY_PJ",
+    "EnergyAccountant",
+    "EnergyReport",
+    "SramEstimate",
+    "SramModel",
+    "TRFC_BY_DENSITY_GBIT",
+]

@@ -1,0 +1,144 @@
+"""DDR4 power model in the style of the Micron system-power calculator.
+
+The paper's Fig. 4 uses Micron's DDR4 spreadsheet to show the refresh
+share of total device power growing with density: at the extended
+temperature rate (32 ms) a 16 Gb device spends more than half its power
+refreshing.  This module reimplements the calculator's arithmetic from
+the IDD currents of Table II:
+
+* background power — precharge standby (IDD2N) / active standby
+  (IDD3N) weighted by the active fraction;
+* activate/precharge power — IDD0 minus the standby floor, scaled by
+  the row-cycle duty factor;
+* read/write burst power — (IDD4R − IDD3N) and (IDD4W − IDD3N) scaled
+  by bus utilisation (the paper fixes 8 % read, 2 % write cycles);
+* refresh power — (IDD5 − IDD3N) scaled by the refresh duty factor
+  ``tRFC / tREFI``, where tRFC grows with device density and tREFI
+  halves at extended temperature.
+
+Densities map to standard DDR4 tRFC1 values; beyond 16 Gb the JEDEC
+trend is extrapolated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.dram.timing import AR_COMMANDS_PER_WINDOW, CurrentParams, TemperatureMode
+
+TRFC_BY_DENSITY_GBIT: Dict[int, float] = {
+    1: 110.0,
+    2: 160.0,
+    4: 260.0,
+    8: 350.0,
+    16: 550.0,
+    32: 880.0,  # JEDEC-trend extrapolation
+    64: 1400.0,  # JEDEC-trend extrapolation
+}
+"""All-bank tRFC1 (ns) per DDR4 device density."""
+
+
+@dataclass(frozen=True)
+class DevicePowerBreakdown:
+    """Per-device power components in mW."""
+
+    background_mw: float
+    activate_mw: float
+    read_mw: float
+    write_mw: float
+    refresh_mw: float
+
+    @property
+    def total_mw(self) -> float:
+        return (
+            self.background_mw
+            + self.activate_mw
+            + self.read_mw
+            + self.write_mw
+            + self.refresh_mw
+        )
+
+    @property
+    def refresh_share(self) -> float:
+        """Fraction of total device power spent refreshing (Fig. 4's y-axis)."""
+        return self.refresh_mw / self.total_mw if self.total_mw else 0.0
+
+
+class DramPowerModel:
+    """Micron-calculator style DDR4 device power model."""
+
+    def __init__(self, currents: CurrentParams = CurrentParams()):
+        self.currents = currents
+
+    # ------------------------------------------------------------------
+    def trfc_ns(self, density_gbit: int) -> float:
+        """All-bank tRFC for a device density (interpolating if needed)."""
+        table = TRFC_BY_DENSITY_GBIT
+        if density_gbit in table:
+            return table[density_gbit]
+        known = sorted(table)
+        if density_gbit < known[0] or density_gbit > known[-1]:
+            raise ValueError(f"density {density_gbit} Gb outside supported range")
+        import numpy as np
+
+        return float(np.interp(density_gbit, known, [table[k] for k in known]))
+
+    def trefi_ns(self, temperature: TemperatureMode) -> float:
+        return temperature.tret_s / AR_COMMANDS_PER_WINDOW * 1e9
+
+    # ------------------------------------------------------------------
+    def device_power(
+        self,
+        density_gbit: int,
+        temperature: TemperatureMode = TemperatureMode.NORMAL,
+        read_cycle_fraction: float = 0.08,
+        write_cycle_fraction: float = 0.02,
+        active_fraction: float = 0.3,
+        row_cycle_duty: float = 0.05,
+        refresh_scale: float = 1.0,
+    ) -> DevicePowerBreakdown:
+        """Power breakdown of one device.
+
+        ``refresh_scale`` multiplies the refresh duty factor: 1.0 is the
+        conventional schedule; a ZERO-REFRESH run passes its normalised
+        refresh count to shrink this component.
+        """
+        c = self.currents
+        vdd = c.vdd
+        background = (
+            c.idd2n * (1.0 - active_fraction) + c.idd3n * active_fraction
+        ) * vdd
+        standby_floor = c.idd3n
+        activate = max(0.0, c.idd0 - standby_floor) * vdd * row_cycle_duty
+        read = max(0.0, c.idd4r - standby_floor) * vdd * read_cycle_fraction
+        write = max(0.0, c.idd4w - standby_floor) * vdd * write_cycle_fraction
+        refresh_duty = self.trfc_ns(density_gbit) / self.trefi_ns(temperature)
+        # Denser devices refresh more banks/rows per command, so the
+        # burst-refresh current grows with density (Micron datasheets
+        # show roughly a 2x IDD5B step from 4 Gb to 16 Gb).  Table II's
+        # IDD5 is anchored at the 8 Gb point.
+        idd5_eff = c.idd5 * (density_gbit / 8.0) ** 0.3
+        refresh = (
+            max(0.0, idd5_eff - standby_floor) * vdd * refresh_duty * refresh_scale
+        )
+        return DevicePowerBreakdown(
+            background_mw=background,
+            activate_mw=activate,
+            read_mw=read,
+            write_mw=write,
+            refresh_mw=refresh,
+        )
+
+    # ------------------------------------------------------------------
+    def refresh_energy_per_row_nj(self, trfc_ns: float, rows_per_ar: int,
+                                  num_chips: int = 8) -> float:
+        """Energy of refreshing one logical row (all chips), in nJ.
+
+        One AR command keeps each chip at IDD5 for tRFC and covers
+        ``rows_per_ar`` rows, so the per-row share is the command energy
+        divided by the row count.
+        """
+        c = self.currents
+        per_chip_nj = max(0.0, c.idd5 - c.idd3n) * c.vdd * trfc_ns * 1e-3
+        return per_chip_nj * num_chips / rows_per_ar

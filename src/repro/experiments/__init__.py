@@ -1,0 +1,83 @@
+"""Experiment runners — one per table/figure of the paper's evaluation.
+
+========== ===============================================================
+id          artifact
+========== ===============================================================
+fig04       refresh power share vs density/temperature (Fig. 4)
+tab01       average allocated memory of the three traces (Table I)
+fig05       memory-utilisation CDFs (Fig. 5)
+fig06       zero fractions at 1 KB / 1 B granularity (Fig. 6)
+fig14       normalised refresh ops, four allocation scenarios (Fig. 14)
+fig15       normalised refresh energy incl. overheads (Fig. 15)
+fig16       normal vs extended temperature (Fig. 16)
+fig17       normalised IPC (Fig. 17)
+fig18       row-buffer size sensitivity (Fig. 18)
+fig19       Smart Refresh vs ZERO-REFRESH scalability (Fig. 19)
+sram        tracking-structure costs (Sec. IV-B)
+abl-*       ablations (pipeline stages, cell-type accuracy, word size,
+            tracking design, AR policy, compression-vs-skippability)
+ext-*       extensions (hybrid charge+recency engine, VRT exposure of
+            retention-aware skipping, latency-hiding scheduler compare)
+========== ===============================================================
+
+Run from the command line::
+
+    python -m repro.experiments fig14 --quick
+    python -m repro.experiments all --quick
+"""
+
+from repro.experiments import (
+    abl_compression,
+    ablations,
+    ext_hybrid,
+    ext_scheduling,
+    ext_vrt,
+    fig04,
+    fig05,
+    fig06,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+    sram_overhead,
+    tab01,
+)
+from repro.experiments.runner import (
+    ExperimentResult,
+    ExperimentSettings,
+    simulate_benchmark,
+    sweep_benchmarks,
+)
+
+REGISTRY = {
+    "fig04": fig04.run,
+    "tab01": tab01.run,
+    "fig05": fig05.run,
+    "fig06": fig06.run,
+    "fig14": fig14.run,
+    "fig15": fig15.run,
+    "fig16": fig16.run,
+    "fig17": fig17.run,
+    "fig18": fig18.run,
+    "fig19": fig19.run,
+    "sram": sram_overhead.run,
+    "abl-stages": ablations.run_stages,
+    "abl-celltype": ablations.run_celltype,
+    "abl-wordsize": ablations.run_wordsize,
+    "abl-tracking": ablations.run_tracking,
+    "abl-policy": ablations.run_policy,
+    "ext-hybrid": ext_hybrid.run,
+    "abl-compression": abl_compression.run,
+    "ext-vrt": ext_vrt.run,
+    "ext-scheduling": ext_scheduling.run,
+}
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSettings",
+    "REGISTRY",
+    "simulate_benchmark",
+    "sweep_benchmarks",
+]

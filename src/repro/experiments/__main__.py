@@ -1,0 +1,61 @@
+"""Command-line entry point for the experiment runners.
+
+Examples::
+
+    python -m repro.experiments fig14 --quick
+    python -m repro.experiments all
+    python -m repro.experiments fig18 --memory-mb 64 --windows 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import REGISTRY, ExperimentSettings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help=f"experiment id or 'all'; one of: {', '.join(REGISTRY)}",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="small scale: 8 MB, 2 windows, 9 benchmarks")
+    parser.add_argument("--memory-mb", type=int, default=None,
+                        help="simulated capacity in MB (default 32)")
+    parser.add_argument("--windows", type=int, default=None,
+                        help="measured retention windows (default 8)")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    settings = (ExperimentSettings.quick(seed=args.seed)
+                if args.quick else ExperimentSettings(seed=args.seed))
+    overrides = {}
+    if args.memory_mb is not None:
+        overrides["memory_bytes"] = args.memory_mb << 20
+    if args.windows is not None:
+        overrides["windows"] = args.windows
+    if overrides:
+        from dataclasses import replace
+
+        settings = replace(settings, **overrides)
+
+    names = list(REGISTRY) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        if name not in REGISTRY:
+            parser.error(f"unknown experiment {name!r}")
+        start = time.time()
+        result = REGISTRY[name](settings)
+        print(result.render())
+        print(f"({time.time() - start:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Fig. 5 — cumulative distributions of memory utilisation (three traces).
+
+The figure plots full CDFs; the table reports the CDF evaluated at a
+utilisation grid plus the percentile summary, which captures the same
+series (Alibaba concentrated high, Google mid, Bitbrains low/wide).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.stats import empirical_cdf
+from repro.experiments.runner import ExperimentResult, ExperimentSettings
+from repro.workloads.datacenter import paper_traces
+
+GRID = np.array([0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9])
+
+
+def run(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult:
+    rows = []
+    for name, trace in paper_traces().items():
+        cdf = empirical_cdf(trace.samples, GRID)
+        rows.append([name] + [float(v) for v in cdf])
+    return ExperimentResult(
+        experiment_id="fig05",
+        title="Memory-utilisation CDFs, P(util <= x)",
+        headers=["trace"] + [f"x={g:.1f}" for g in GRID],
+        rows=rows,
+        notes=(
+            "Expected shape: alibaba ~0 until x=0.8 then steep; google rises "
+            "around x=0.6-0.8; bitbrains reaches ~0.9 by x=0.5"
+        ),
+    )

@@ -1,0 +1,39 @@
+"""Fig. 6 — zero fractions of benchmark memory at 1 KB and 1 B granularity.
+
+The paper measures memory dumps of accessed pages: on average only
+~2.3 % of 1 KB blocks are entirely zero, yet ~43 % of bytes are zero —
+the motivation for value transformation (fine-grained zeros exist but
+are not row-aligned).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.runner import ExperimentResult, ExperimentSettings
+from repro.workloads.benchmarks import benchmark_profile
+from repro.workloads.synthetic import zero_block_fraction, zero_byte_fraction
+
+
+def run(settings: ExperimentSettings = ExperimentSettings(),
+        pages_per_benchmark: int = 1024) -> ExperimentResult:
+    rng = np.random.default_rng(settings.seed)
+    rows = []
+    byte_fracs, block_fracs = [], []
+    for name in settings.benchmarks:
+        profile = benchmark_profile(name)
+        pages = profile.generate_pages(pages_per_benchmark, rng)
+        lines = pages.reshape(-1, pages.shape[-1])
+        zb = zero_byte_fraction(lines)
+        z1k = zero_block_fraction(lines, block_bytes=1024)
+        byte_fracs.append(zb)
+        block_fracs.append(z1k)
+        rows.append([name, z1k, zb])
+    rows.append(["average", float(np.mean(block_fracs)), float(np.mean(byte_fracs))])
+    return ExperimentResult(
+        experiment_id="fig06",
+        title="Zero fraction at 1 KB blocks and single bytes (raw content)",
+        headers=["benchmark", "zero 1KB blocks", "zero bytes"],
+        rows=rows,
+        paper_reference={"avg zero 1KB": 0.023, "avg zero bytes": 0.43},
+    )

@@ -1,0 +1,85 @@
+"""Fig. 19 — Smart Refresh vs. ZERO-REFRESH as capacity scales (mcf).
+
+Smart Refresh skips rows the program touched within the window, so its
+normalised refresh is ``1 - touched_fraction`` — and the touched
+fraction collapses as installed memory grows past the (fixed) working
+set: the paper measures mcf going from 52.6 % normalised refresh at
+4 GB to 94.1 % at 32 GB.  ZERO-REFRESH stays roughly flat because value
+statistics, not access reach, drive it; per the paper the unused space
+is filled with application data (not zeros) to keep the comparison
+fair.
+
+Capacities are simulated at 1/1024 scale (4 MB stands for 4 GB, etc.);
+all ratio metrics are scale-invariant, and the working set and traffic
+are held at a fixed *absolute* size across the sweep exactly as the
+paper's fixed benchmark does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.smart_refresh import SmartRefreshTracker
+from repro.core.zero_refresh import ZeroRefreshSystem
+from repro.experiments.runner import ExperimentResult, ExperimentSettings
+from repro.workloads.access import WorkingSetTraceGenerator
+from repro.workloads.benchmarks import benchmark_profile
+
+CAPACITIES_MB = (4, 8, 16, 32)  # stand-ins for 4/8/16/32 GB
+
+
+def run(settings: ExperimentSettings = ExperimentSettings(),
+        benchmark: str = "mcf") -> ExperimentResult:
+    profile = benchmark_profile(benchmark)
+    smallest_pages = (CAPACITIES_MB[0] << 20) // 4096
+    # mcf's per-window *touch* reach is huge (pointer chasing covers
+    # about half of a 4 GB machine within 32 ms) but read-dominated:
+    # reads recharge rows — which is all Smart Refresh needs — while
+    # only the small write stream dirties ZERO-REFRESH's access bits.
+    ws_pages_abs = int(0.55 * smallest_pages)
+    accesses = ws_pages_abs * 6
+    write_fraction = 0.08
+    rows = []
+    for cap_mb in CAPACITIES_MB:
+        from repro.core.config import SystemConfig
+
+        config = SystemConfig.scaled(
+            total_bytes=cap_mb << 20, temperature=settings.temperature,
+            seed=settings.seed, rows_per_ar=settings.rows_per_ar,
+        )
+        system = ZeroRefreshSystem(config)
+        total_pages = system.allocator.total_pages
+        system.populate(
+            profile,
+            allocated_fraction=1.0,
+            working_set_fraction=ws_pages_abs / total_pages,
+            accesses_per_window=accesses,
+            write_fraction=write_fraction,
+        )
+        result = system.run_windows(settings.windows)
+
+        # Smart Refresh on the same machine and the same traffic.
+        tracker = SmartRefreshTracker(config.geometry)
+        generator = system._trace_generator
+        lines_per_page = config.geometry.lines_per_page
+        for _ in range(settings.windows):
+            trace = generator.window_trace()
+            pages = np.unique(trace.line_addrs // lines_per_page)
+            banks = pages % config.geometry.num_banks
+            bank_rows = pages // config.geometry.num_banks
+            tracker.note_accesses(banks, bank_rows)
+            tracker.run_window()
+        rows.append([
+            f"{cap_mb} GB" if cap_mb != CAPACITIES_MB[0] else f"{cap_mb} GB",
+            tracker.stats.normalized_refresh(),
+            result.normalized_refresh,
+        ])
+    return ExperimentResult(
+        experiment_id="fig19",
+        title=f"Smart Refresh vs ZERO-REFRESH scalability ({benchmark})",
+        headers=["capacity", "smart refresh", "zero-refresh"],
+        rows=rows,
+        paper_reference={"smart@4GB": 0.526, "smart@32GB": 0.941,
+                         "zero-refresh": "~flat"},
+        notes="capacities simulated at 1/1024 scale with a fixed working set",
+    )

@@ -1,0 +1,34 @@
+"""Operating-system memory model (paper Secs. III-B and VI-A).
+
+ZERO-REFRESH's unallocated-page benefit needs only one OS property:
+pages are *zero when idle*.  The OS already cleanses pages for security;
+moving the zero-fill from allocation time to **deallocation time** keeps
+idle pages zeroed for their whole idle lifetime, which the DRAM-side
+mechanism then detects by value alone — no new hardware interface.
+
+* :mod:`repro.osmodel.pages` — a page allocator over the simulated
+  memory with three cleansing policies (zero-on-free, zero-on-alloc,
+  none), writing its zero fills through the memory controller so the
+  transformation pipeline sees them.
+* :mod:`repro.osmodel.scenarios` — the four allocation scenarios of the
+  evaluation: 100 % (no idle pages) plus the Alibaba (88 %), Google
+  (70 %) and Bitbrains (28 %) utilisation levels of Table I.
+"""
+
+from repro.osmodel.lifecycle import Process, ProcessLifecycle
+from repro.osmodel.pages import CleansePolicy, PageAllocator
+from repro.osmodel.scenarios import (
+    PAPER_SCENARIOS,
+    AllocationScenario,
+    scenario_by_name,
+)
+
+__all__ = [
+    "AllocationScenario",
+    "CleansePolicy",
+    "PAPER_SCENARIOS",
+    "PageAllocator",
+    "Process",
+    "ProcessLifecycle",
+    "scenario_by_name",
+]

@@ -1,0 +1,119 @@
+"""Page allocator with configurable cleansing policy (paper Sec. III-B).
+
+The allocator manages the simulated DRAM as 4 KB pages.  Its cleansing
+policy decides *when* the zero fill that every OS performs for security
+actually happens:
+
+``ZERO_ON_FREE``
+    The paper's proposed (small) OS change: pages are zeroed the moment
+    they are deallocated, so they hold zeros for their entire idle
+    time and the charge-aware mechanism can skip their refreshes.
+
+``ZERO_ON_ALLOC``
+    Common Linux behaviour: pages are zeroed right before reuse.  Idle
+    pages keep their stale contents, so unallocated memory earns no
+    refresh reduction (only the transient zero right after allocation).
+
+``NONE``
+    No cleansing (for controlled experiments).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+from repro.controller.memctrl import MemoryController
+
+
+class CleansePolicy(enum.Enum):
+    ZERO_ON_FREE = "zero-on-free"
+    ZERO_ON_ALLOC = "zero-on-alloc"
+    NONE = "none"
+
+
+class PageAllocator:
+    """FIFO free-list page allocator writing through the controller."""
+
+    def __init__(
+        self,
+        controller: MemoryController,
+        policy: CleansePolicy = CleansePolicy.ZERO_ON_FREE,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.controller = controller
+        self.policy = policy
+        self.rng = rng or np.random.default_rng()
+        self.total_pages = controller.mapper.total_pages
+        self._allocated = np.zeros(self.total_pages, dtype=bool)
+        self._free_list = list(range(self.total_pages))
+        self.zero_fills = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def allocated_pages(self) -> np.ndarray:
+        return np.flatnonzero(self._allocated)
+
+    @property
+    def free_pages(self) -> np.ndarray:
+        return np.flatnonzero(~self._allocated)
+
+    @property
+    def allocated_fraction(self) -> float:
+        return float(self._allocated.mean())
+
+    def is_allocated(self, page: int) -> bool:
+        return bool(self._allocated[page])
+
+    # ------------------------------------------------------------------
+    def allocate(self, count: int, time_s: float = 0.0) -> np.ndarray:
+        """Take ``count`` pages off the free list.
+
+        Under ``ZERO_ON_ALLOC`` the pages are zeroed now; under
+        ``ZERO_ON_FREE`` they are already zero.
+        """
+        if count > len(self._free_list):
+            raise MemoryError(
+                f"requested {count} pages, only {len(self._free_list)} free"
+            )
+        pages = np.array([self._free_list.pop(0) for _ in range(count)], dtype=np.int64)
+        self._allocated[pages] = True
+        if self.policy is CleansePolicy.ZERO_ON_ALLOC:
+            self.controller.zero_pages(pages, time_s)
+            self.zero_fills += count
+        return pages
+
+    def free(self, pages: np.ndarray, time_s: float = 0.0) -> None:
+        """Return pages to the free list.
+
+        Under ``ZERO_ON_FREE`` (the paper's policy) the pages are zeroed
+        immediately — through the controller, so the stored image
+        becomes fully discharged bits and future refreshes are skipped.
+        """
+        pages = np.atleast_1d(np.asarray(pages, dtype=np.int64))
+        if not self._allocated[pages].all():
+            raise ValueError("double free: some pages are not allocated")
+        self._allocated[pages] = False
+        self._free_list.extend(int(p) for p in pages)
+        if self.policy is CleansePolicy.ZERO_ON_FREE:
+            self.controller.zero_pages(pages, time_s)
+            self.zero_fills += len(pages)
+
+    # ------------------------------------------------------------------
+    def seed_allocated_fraction(self, fraction: float, time_s: float = 0.0,
+                                shuffle: bool = True) -> np.ndarray:
+        """Allocate a fraction of all pages (scenario setup).
+
+        Pages are drawn randomly (``shuffle=True``) to mimic a
+        fragmented long-running system rather than one contiguous
+        region.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        count = int(round(fraction * self.total_pages))
+        if shuffle:
+            order = self.rng.permutation(len(self._free_list))
+            self._free_list = [self._free_list[i] for i in order]
+        return self.allocate(count, time_s)

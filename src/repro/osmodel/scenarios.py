@@ -1,0 +1,69 @@
+"""Memory-allocation scenarios of the evaluation (paper Table I, Sec. VI-A).
+
+The paper evaluates four utilisation levels: the pessimistic 100 %
+(every page holds application data) and three levels taken from
+data-center traces — Alibaba 88 %, Google 70 % and Bitbrains 28 %
+allocated on average.  A scenario fixes the fraction of pages the OS
+hands to applications; the remainder are idle and, under the
+zero-on-free policy, hold zeros.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AllocationScenario:
+    """A named memory-utilisation level.
+
+    ``allocated_fraction`` is the share of pages holding application
+    data; ``source`` documents where the number comes from.
+    """
+
+    name: str
+    allocated_fraction: float
+    source: str = ""
+
+    def __post_init__(self):
+        if not 0.0 <= self.allocated_fraction <= 1.0:
+            raise ValueError("allocated_fraction must be within [0, 1]")
+
+    @property
+    def idle_fraction(self) -> float:
+        return 1.0 - self.allocated_fraction
+
+    def allocated_page_count(self, total_pages: int) -> int:
+        return int(round(self.allocated_fraction * total_pages))
+
+    @classmethod
+    def from_utilization_trace(cls, name: str, samples: np.ndarray,
+                               source: str = "") -> "AllocationScenario":
+        """Scenario at the *average* utilisation of a trace (Table I)."""
+        samples = np.asarray(samples, dtype=float)
+        if samples.size == 0:
+            raise ValueError("utilisation trace is empty")
+        return cls(name=name, allocated_fraction=float(samples.mean()),
+                   source=source)
+
+
+PAPER_SCENARIOS: Dict[str, AllocationScenario] = {
+    "100%": AllocationScenario("100%", 1.00, source="no idle pages"),
+    "88%": AllocationScenario("88%", 0.88, source="Alibaba cluster trace"),
+    "70%": AllocationScenario("70%", 0.70, source="Google cluster trace"),
+    "28%": AllocationScenario("28%", 0.28, source="Bitbrains trace (CPU>30%)"),
+}
+"""The four utilisation scenarios of Fig. 14/15 keyed by their label."""
+
+
+def scenario_by_name(name: str) -> AllocationScenario:
+    """Look up one of the paper's scenarios ("100%", "88%", "70%", "28%")."""
+    try:
+        return PAPER_SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; expected one of {sorted(PAPER_SCENARIOS)}"
+        ) from None

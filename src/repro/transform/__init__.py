@@ -1,0 +1,55 @@
+"""CPU-side value transformation pipeline of ZERO-REFRESH (paper Sec. V).
+
+The pipeline turns each cacheline evicted from the last-level cache into
+a bit image that stores as many *discharged* DRAM cells as possible:
+
+1. :mod:`repro.transform.ebdi` — the EBDI stage.  The cacheline is
+   re-expressed as a base word plus per-word deltas, and each delta is
+   coded with a sign-folding (zigzag) code whose high-order bits are
+   discharged bits: zeros for true-cell rows, ones for anti-cell rows.
+2. :mod:`repro.transform.bitplane` — the bit-plane stage.  Delta bits
+   are transposed so the non-zero low-order planes of every delta pack
+   into the lowest-order words of the line, leaving the remaining words
+   entirely made of discharged bits.
+3. :mod:`repro.transform.rotation` — the data-rotation stage.  Words of
+   the transformed line are assigned to DRAM chips with a per-row
+   rotation so that, combined with the staggered refresh counters of
+   :mod:`repro.dram.refresh`, each refresh group contains a single word
+   position of many cachelines (all bases together, all delta words
+   together, all discharged words together).
+
+:mod:`repro.transform.celltype` models how the true/anti cell layout of
+a DRAM chip is identified, and :mod:`repro.transform.codec` composes the
+three stages into the round-trip :class:`~repro.transform.codec.ValueTransformCodec`.
+"""
+
+from repro.transform.bdi import BdiCompressor, BdiResult
+from repro.transform.bitplane import BitPlaneTransform
+from repro.transform.bpc import BpcCompressor, BpcResult
+from repro.transform.celltype import (
+    CellType,
+    CellTypeLayout,
+    CellTypePredictor,
+    identify_cell_types,
+)
+from repro.transform.codec import StageSelection, ValueTransformCodec
+from repro.transform.ebdi import EbdiCodec, zigzag_decode, zigzag_encode
+from repro.transform.rotation import RotationMapper
+
+__all__ = [
+    "BdiCompressor",
+    "BdiResult",
+    "BitPlaneTransform",
+    "BpcCompressor",
+    "BpcResult",
+    "CellType",
+    "CellTypeLayout",
+    "CellTypePredictor",
+    "EbdiCodec",
+    "RotationMapper",
+    "StageSelection",
+    "ValueTransformCodec",
+    "identify_cell_types",
+    "zigzag_decode",
+    "zigzag_encode",
+]

@@ -1,0 +1,110 @@
+"""Bit-plane transposition stage of ZERO-REFRESH (paper Sec. V-C).
+
+After the EBDI stage every delta word carries a small coded value: its
+low-order bits are data, its high-order bits are discharged bits.  The
+discharged bits are *not* contiguous across the line, though — each word
+contributes its own little run.  The bit-plane stage (motivated by BPC
+compression, Kim et al. ISCA 2016) transposes the delta bits so that the
+*planes* — bit position j of every delta word — become contiguous.
+
+Concretely, with D delta words of B bits each, the 448-bit (D=7, B=64)
+delta region is re-laid-out plane-major::
+
+    position j*D + w   <-   bit j of delta word w
+
+Low-order planes (j small) hold the data of every delta; high-order
+planes are entirely discharged.  After re-slicing the stream back into
+B-bit words, the non-discharged content is concentrated in the
+lowest-order word(s) of the line, and every remaining word consists of
+discharged bits only — exactly what the data-rotation stage needs.
+
+The transform is a fixed bit permutation, hence trivially invertible and
+oblivious to the true/anti complement applied by the EBDI stage
+(complementing commutes with permuting).
+
+The implementation is vectorised over batches of lines using
+``np.unpackbits``/``np.packbits`` with a precomputed permutation table.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.transform.ebdi import word_dtype
+
+
+class BitPlaneTransform:
+    """Transpose delta-word bit planes within cachelines.
+
+    Parameters mirror :class:`repro.transform.ebdi.EbdiCodec`: the line
+    is ``words_per_line`` words of ``word_bytes`` bytes, and word 0 (the
+    EBDI base) is left untouched.
+    """
+
+    def __init__(self, word_bytes: int = 8, line_bytes: int = 64):
+        if sys.byteorder != "little":  # pragma: no cover - platform guard
+            raise RuntimeError("BitPlaneTransform requires a little-endian host")
+        if line_bytes % word_bytes != 0:
+            raise ValueError(
+                f"line size {line_bytes} is not a multiple of word size {word_bytes}"
+            )
+        self.word_bytes = word_bytes
+        self.line_bytes = line_bytes
+        self.words_per_line = line_bytes // word_bytes
+        self.delta_words = self.words_per_line - 1
+        if self.delta_words < 1:
+            raise ValueError("need at least one delta word")
+        self.word_bits = word_bytes * 8
+        self.dtype = word_dtype(word_bytes)
+        self._forward_perm, self._inverse_perm = self._build_permutations()
+
+    def _build_permutations(self) -> tuple:
+        """Precompute the plane-major permutation and its inverse.
+
+        With ``np.unpackbits(..., bitorder='little')`` on the
+        little-endian byte view, flat position ``w*B + j`` is bit ``j``
+        of delta word ``w``; the forward permutation gathers plane j of
+        all words into consecutive positions.
+        """
+        d, b = self.delta_words, self.word_bits
+        planes, words = np.meshgrid(np.arange(b), np.arange(d), indexing="ij")
+        forward = (words * b + planes).ravel()  # out[j*D + w] = in[w*B + j]
+        inverse = np.empty_like(forward)
+        inverse[forward] = np.arange(d * b)
+        return forward, inverse
+
+    # ------------------------------------------------------------------
+    def apply(self, lines: np.ndarray) -> np.ndarray:
+        """Return lines with delta bit planes transposed (base untouched)."""
+        return self._permute(lines, self._forward_perm)
+
+    def invert(self, lines: np.ndarray) -> np.ndarray:
+        """Invert :meth:`apply`."""
+        return self._permute(lines, self._inverse_perm)
+
+    # ------------------------------------------------------------------
+    def _permute(self, lines: np.ndarray, perm: np.ndarray) -> np.ndarray:
+        lines = np.asarray(lines)
+        if lines.ndim != 2 or lines.shape[1] != self.words_per_line:
+            raise ValueError(
+                f"expected shape (n, {self.words_per_line}), got {lines.shape}"
+            )
+        if lines.dtype != self.dtype:
+            raise TypeError(f"expected dtype {self.dtype}, got {lines.dtype}")
+        deltas = np.ascontiguousarray(lines[:, 1:])
+        raw = deltas.view(np.uint8).reshape(len(lines), -1)
+        bits = np.unpackbits(raw, axis=1, bitorder="little")
+        shuffled = bits[:, perm]
+        packed = np.ascontiguousarray(np.packbits(shuffled, axis=1, bitorder="little"))
+        out = np.empty_like(lines)
+        out[:, 0] = lines[:, 0]
+        out[:, 1:] = packed.view(self.dtype).reshape(len(lines), self.delta_words)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BitPlaneTransform(word_bytes={self.word_bytes}, "
+            f"line_bytes={self.line_bytes})"
+        )

@@ -1,0 +1,234 @@
+"""Composed value-transformation codec (paper Fig. 9).
+
+:class:`ValueTransformCodec` chains the three pipeline stages — EBDI,
+bit-plane transposition and data rotation — together with the cell-type
+predictor, converting between logical cacheline contents and the bit
+image actually stored across the chips of a rank.
+
+Stage order on the write path (LLC eviction -> DRAM):
+
+1. EBDI base-delta conversion with the true-cell zigzag code.
+2. Bit-plane transposition of the delta words.
+3. Complementing of the whole line when the target row is predicted to
+   be an anti-cell row (equivalent to the paper's per-stage anti-cell
+   encodings, since complementing commutes with both bit permutations).
+4. Data rotation: word-to-chip assignment rotated by the row index.
+
+Reads apply the exact inverse, using the *same* cell-type prediction,
+so the round trip is exact even under misprediction (paper Sec. V-B).
+
+:class:`StageSelection` switches stages off individually, which is what
+the stage-contribution and cell-type ablation experiments use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.transform.bitplane import BitPlaneTransform
+from repro.transform.celltype import CellType, CellTypePredictor
+from repro.transform.ebdi import EbdiCodec
+from repro.transform.rotation import RotationMapper
+
+
+@dataclass(frozen=True)
+class StageSelection:
+    """Which pipeline stages are active.
+
+    ``ebdi``
+        Base-delta conversion with the zigzag delta code.
+    ``bitplane``
+        Bit-plane transposition of the delta words.
+    ``rotation``
+        Per-row rotation of the word-to-chip assignment.
+    ``celltype_aware``
+        Complement lines stored in predicted anti-cell rows.  With this
+        off, zero data in anti-cell rows stays charged and cannot be
+        skipped.
+    """
+
+    ebdi: bool = True
+    bitplane: bool = True
+    rotation: bool = True
+    celltype_aware: bool = True
+
+    @classmethod
+    def none(cls) -> "StageSelection":
+        """Raw storage: values go to DRAM untouched (conventional system)."""
+        return cls(ebdi=False, bitplane=False, rotation=False, celltype_aware=False)
+
+    @classmethod
+    def full(cls) -> "StageSelection":
+        """The complete ZERO-REFRESH pipeline."""
+        return cls()
+
+
+class ValueTransformCodec:
+    """Round-trip codec between cachelines and per-chip stored words.
+
+    Parameters
+    ----------
+    predictor:
+        Cell-type predictions per row, shared by encode and decode.
+    num_chips, word_bytes, line_bytes:
+        Rank and line geometry (defaults follow Table II).
+    stages:
+        Active pipeline stages; defaults to the full pipeline.
+    """
+
+    def __init__(
+        self,
+        predictor: CellTypePredictor,
+        num_chips: int = 8,
+        word_bytes: int = 8,
+        line_bytes: int = 64,
+        stages: StageSelection = StageSelection.full(),
+    ):
+        self.predictor = predictor
+        self.stages = stages
+        self.ebdi = EbdiCodec(word_bytes, line_bytes)
+        self.bitplane = BitPlaneTransform(word_bytes, line_bytes)
+        self.rotation = RotationMapper(
+            num_chips, word_bytes, line_bytes, rotate=stages.rotation
+        )
+        self.word_bytes = word_bytes
+        self.line_bytes = line_bytes
+        self.num_chips = num_chips
+        self.dtype = self.ebdi.dtype
+
+    # ------------------------------------------------------------------
+    def transform_lines(self, lines: np.ndarray, row_index: int) -> np.ndarray:
+        """Apply the per-line stages (EBDI, bit-plane, complement) only.
+
+        Returns the transformed lines *before* chip distribution; useful
+        for content analysis and tests.
+        """
+        out = lines
+        if self.stages.ebdi:
+            out = self.ebdi.encode(out, CellType.TRUE)
+        if self.stages.bitplane:
+            out = self.bitplane.apply(out)
+        if self._store_complemented(row_index):
+            out = np.invert(out)
+        return out
+
+    def untransform_lines(self, encoded: np.ndarray, row_index: int) -> np.ndarray:
+        """Invert :meth:`transform_lines`."""
+        out = encoded
+        if self._store_complemented(row_index):
+            out = np.invert(out)
+        if self.stages.bitplane:
+            out = self.bitplane.invert(out)
+        if self.stages.ebdi:
+            out = self.ebdi.decode(out, CellType.TRUE)
+        return out
+
+    # ------------------------------------------------------------------
+    def encode_row(self, lines: np.ndarray, row_index: int) -> np.ndarray:
+        """Encode a logical row's lines into per-chip stored words.
+
+        ``lines`` has shape ``(n_lines, words_per_line)``; returns shape
+        ``(num_chips, n_lines, words_per_chip)`` of stored (bus-level)
+        words, ready to be written into chip row ``row_index``.
+        """
+        return self.rotation.scatter(self.transform_lines(lines, row_index), row_index)
+
+    def decode_row(self, chip_data: np.ndarray, row_index: int) -> np.ndarray:
+        """Invert :meth:`encode_row`, recovering the original lines."""
+        return self.untransform_lines(
+            self.rotation.gather(chip_data, row_index), row_index
+        )
+
+    # ------------------------------------------------------------------
+    # bulk interface (vectorised over many rows)
+    # ------------------------------------------------------------------
+    def encode_rows(self, lines: np.ndarray, row_indices: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`encode_row` over many logical rows.
+
+        ``lines`` has shape ``(n_rows, lines_per_row, words_per_line)``
+        and ``row_indices`` the matching row numbers.  Returns shape
+        ``(n_rows, num_chips, lines_per_row, words_per_chip)`` — the
+        layout banks store rows in.
+
+        The per-line stages are row-independent, so they run in one pass
+        over every line; the anti-cell complement and the rotation are
+        then applied per equivalence class (there are only
+        ``2 * num_chips`` of them), keeping population of large memories
+        fast.
+        """
+        lines = np.asarray(lines)
+        row_indices = np.asarray(row_indices)
+        n_rows, lines_per_row, words = lines.shape
+        flat = lines.reshape(n_rows * lines_per_row, words)
+        if self.stages.ebdi:
+            flat = self.ebdi.encode(flat, CellType.TRUE)
+        if self.stages.bitplane:
+            flat = self.bitplane.apply(flat)
+        transformed = flat.reshape(n_rows, lines_per_row, words)
+        if self.stages.celltype_aware:
+            anti = self.predictor.predict_anti(row_indices)
+            if anti.any():
+                transformed = transformed.copy()
+                transformed[anti] = np.invert(transformed[anti])
+        out = np.empty(
+            (n_rows, self.num_chips, lines_per_row, self.rotation.words_per_chip),
+            dtype=self.dtype,
+        )
+        rotations = (
+            row_indices % self.num_chips
+            if self.rotation.rotate
+            else np.zeros(n_rows, dtype=np.int64)
+        )
+        for rot in np.unique(rotations):
+            idx = np.flatnonzero(rotations == rot)
+            for chip in range(self.num_chips):
+                word_slots = self.rotation.words_of_chip(chip, int(rot))
+                out[idx, chip] = transformed[idx][:, :, word_slots]
+        return out
+
+    def decode_rows(self, chip_data: np.ndarray, row_indices: np.ndarray) -> np.ndarray:
+        """Invert :meth:`encode_rows`."""
+        chip_data = np.asarray(chip_data)
+        row_indices = np.asarray(row_indices)
+        n_rows, _, lines_per_row, _ = chip_data.shape
+        words = self.rotation.words_per_line
+        gathered = np.empty((n_rows, lines_per_row, words), dtype=self.dtype)
+        rotations = (
+            row_indices % self.num_chips
+            if self.rotation.rotate
+            else np.zeros(n_rows, dtype=np.int64)
+        )
+        for rot in np.unique(rotations):
+            idx = np.flatnonzero(rotations == rot)
+            for chip in range(self.num_chips):
+                word_slots = self.rotation.words_of_chip(chip, int(rot))
+                gathered[np.ix_(idx, np.arange(lines_per_row), word_slots)] = (
+                    chip_data[idx, chip]
+                )
+        if self.stages.celltype_aware:
+            anti = self.predictor.predict_anti(row_indices)
+            if anti.any():
+                gathered[anti] = np.invert(gathered[anti])
+        flat = gathered.reshape(n_rows * lines_per_row, words)
+        if self.stages.bitplane:
+            flat = self.bitplane.invert(flat)
+        if self.stages.ebdi:
+            flat = self.ebdi.decode(flat, CellType.TRUE)
+        return flat.reshape(n_rows, lines_per_row, words)
+
+    # ------------------------------------------------------------------
+    def _store_complemented(self, row_index: int) -> bool:
+        """Whether lines bound for ``row_index`` are stored complemented."""
+        return (
+            self.stages.celltype_aware
+            and self.predictor.predict(row_index) is CellType.ANTI
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ValueTransformCodec(chips={self.num_chips}, "
+            f"word_bytes={self.word_bytes}, line_bytes={self.line_bytes}, "
+            f"stages={self.stages})"
+        )

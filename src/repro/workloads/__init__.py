@@ -1,0 +1,67 @@
+"""Workload substrate: content, access traffic and utilisation traces.
+
+* :mod:`repro.workloads.synthetic` — cacheline content classes with
+  controlled value statistics (zero fraction, delta width).
+* :mod:`repro.workloads.benchmarks` — per-benchmark profiles standing in
+  for the paper's SPEC CPU2006 / NPB / TPC-H memory images, calibrated
+  against Fig. 6 and Fig. 14.
+* :mod:`repro.workloads.access` — working-set access-trace generation
+  (write traffic for ZERO-REFRESH, touched rows for Smart Refresh).
+* :mod:`repro.workloads.datacenter` — Google / Alibaba / Bitbrains
+  utilisation-trace stand-ins (Table I, Fig. 5).
+"""
+
+from repro.workloads.access import AccessTrace, WorkingSetTraceGenerator
+from repro.workloads.benchmarks import (
+    BENCHMARK_NAMES,
+    PROFILES,
+    BenchmarkProfile,
+    benchmark_profile,
+    suite_average_reduction,
+)
+from repro.workloads.dumps import (
+    DumpAnalysis,
+    analyze_dump,
+    analyze_pages,
+    bytes_to_pages,
+    load_dump,
+)
+from repro.workloads.datacenter import (
+    UtilizationTrace,
+    alibaba_trace,
+    bitbrains_trace,
+    google_trace,
+    paper_traces,
+)
+from repro.workloads.synthetic import (
+    LINE_CLASSES,
+    SKIPPABLE_GROUPS,
+    generate_lines,
+    zero_block_fraction,
+    zero_byte_fraction,
+)
+
+__all__ = [
+    "AccessTrace",
+    "DumpAnalysis",
+    "analyze_dump",
+    "analyze_pages",
+    "bytes_to_pages",
+    "load_dump",
+    "BENCHMARK_NAMES",
+    "BenchmarkProfile",
+    "LINE_CLASSES",
+    "PROFILES",
+    "SKIPPABLE_GROUPS",
+    "UtilizationTrace",
+    "WorkingSetTraceGenerator",
+    "alibaba_trace",
+    "benchmark_profile",
+    "bitbrains_trace",
+    "generate_lines",
+    "google_trace",
+    "paper_traces",
+    "suite_average_reduction",
+    "zero_block_fraction",
+    "zero_byte_fraction",
+]

@@ -1,0 +1,105 @@
+"""Memory-access trace generation (write traffic and touched rows).
+
+Two consumers need access traces:
+
+* the ZERO-REFRESH simulation — *writes* raise access bits and change
+  stored content, so each retention window needs the stream of written
+  lines and their new values;
+* the Smart Refresh baseline (Fig. 19) — any *touched* (read or
+  written) row is implicitly refreshed by its activation, so its
+  effectiveness is the fraction of rows the application touches per
+  window.
+
+Traces follow a working-set model: a benchmark touches a bounded set of
+pages (its resident working set), with accesses concentrated on hot
+pages (Zipf-like reuse).  The working set does *not* grow with DRAM
+capacity — the property that makes Smart Refresh fade at scale while
+ZERO-REFRESH stays flat (paper Sec. VI-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AccessTrace:
+    """One retention window's memory traffic at line granularity."""
+
+    line_addrs: np.ndarray  # global line addresses, in program order
+    is_write: np.ndarray  # bool per access
+
+    def __post_init__(self):
+        if self.line_addrs.shape != self.is_write.shape:
+            raise ValueError("line_addrs and is_write must align")
+
+    @property
+    def writes(self) -> np.ndarray:
+        return self.line_addrs[self.is_write]
+
+    @property
+    def reads(self) -> np.ndarray:
+        return self.line_addrs[~self.is_write]
+
+    def __len__(self) -> int:
+        return len(self.line_addrs)
+
+
+class WorkingSetTraceGenerator:
+    """Zipf-reuse access generator over a fixed working set of pages.
+
+    Parameters
+    ----------
+    working_set_pages:
+        Pages the application actively touches (its resident set).
+        These must already be populated/allocated by the caller.
+    lines_per_page:
+        Lines per page (64 with the default geometry).
+    accesses_per_window:
+        Demand accesses (LLC misses reaching DRAM) per retention
+        window; scales with the benchmark's MPKI.
+    write_fraction:
+        Share of accesses that are writes (writebacks), ~0.25 typical.
+    zipf_s:
+        Zipf exponent over the working-set pages (0 = uniform).
+    """
+
+    def __init__(
+        self,
+        working_set_pages: np.ndarray,
+        lines_per_page: int = 64,
+        accesses_per_window: int = 10_000,
+        write_fraction: float = 0.25,
+        zipf_s: float = 0.8,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        working_set_pages = np.asarray(working_set_pages)
+        if working_set_pages.size == 0:
+            raise ValueError("working set is empty")
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError("write_fraction must be within [0, 1]")
+        self.pages = working_set_pages
+        self.lines_per_page = lines_per_page
+        self.accesses_per_window = accesses_per_window
+        self.write_fraction = write_fraction
+        self.rng = rng or np.random.default_rng()
+        ranks = np.arange(1, len(working_set_pages) + 1, dtype=float)
+        weights = ranks**-zipf_s
+        self._page_probs = weights / weights.sum()
+
+    def window_trace(self, n_accesses: Optional[int] = None) -> AccessTrace:
+        """Generate one retention window of accesses."""
+        n = n_accesses if n_accesses is not None else self.accesses_per_window
+        page_idx = self.rng.choice(len(self.pages), size=n, p=self._page_probs)
+        pages = self.pages[page_idx]
+        lines_in_page = self.rng.integers(0, self.lines_per_page, size=n)
+        line_addrs = pages * self.lines_per_page + lines_in_page
+        is_write = self.rng.random(n) < self.write_fraction
+        return AccessTrace(line_addrs=line_addrs, is_write=is_write)
+
+    def touched_pages(self, trace: AccessTrace) -> np.ndarray:
+        """Unique pages touched by a trace (Smart Refresh's skip set)."""
+        return np.unique(trace.line_addrs // self.lines_per_page)

@@ -1,0 +1,131 @@
+"""Data-center memory-utilisation traces (paper Table I and Fig. 5).
+
+The paper draws allocation scenarios from three published cluster
+traces: Google (cluster-usage v2), Alibaba (cluster-trace-v2018) and
+Bitbrains (GWA-T-12).  The raw traces are multi-gigabyte downloads; the
+only statistic the evaluation consumes is the *distribution of
+allocated-memory fraction over time*, so this module regenerates
+synthetic utilisation time series whose means match Table I —
+
+========== ================ =====================
+trace       allocated mean   generator
+========== ================ =====================
+Google      70 %             :func:`google_trace`
+Alibaba     88 %             :func:`alibaba_trace`
+Bitbrains   28 %             :func:`bitbrains_trace`
+========== ================ =====================
+
+— and whose cumulative distributions have the qualitative shapes of
+Fig. 5 (Alibaba tightly concentrated near full utilisation, Google
+mid-range, Bitbrains low and wide).  The Bitbrains generator also
+produces CPU utilisation and applies the paper's conservative filter:
+only samples with CPU > 30 % count (Sec. III-B).
+
+Each series is a mean-reverting (AR(1)) process with a Beta marginal,
+the standard shape for utilisation data: bounded on [0, 1], unimodal,
+with realistic autocorrelation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class UtilizationTrace:
+    """A utilisation time series (fractions of memory allocated)."""
+
+    name: str
+    samples: np.ndarray
+    source: str = ""
+
+    @property
+    def mean(self) -> float:
+        return float(self.samples.mean())
+
+    def cdf(self, grid: Optional[np.ndarray] = None) -> tuple:
+        """Empirical CDF evaluated on ``grid`` (default: 0..1 in 1 % steps)."""
+        if grid is None:
+            grid = np.linspace(0.0, 1.0, 101)
+        sorted_samples = np.sort(self.samples)
+        cdf = np.searchsorted(sorted_samples, grid, side="right") / len(
+            sorted_samples
+        )
+        return grid, cdf
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.samples, q))
+
+
+def _beta_ar1(
+    n: int,
+    mean: float,
+    concentration: float,
+    autocorr: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Mean-reverting series with Beta(mean*c, (1-mean)*c) marginal.
+
+    Uses a Gaussian copula: an AR(1) latent process is pushed through
+    the normal CDF and the Beta quantile function, giving exactly the
+    requested marginal with temporal correlation ``autocorr``.
+    """
+    from scipy import stats
+
+    latent = np.empty(n)
+    latent[0] = rng.standard_normal()
+    innovation_scale = np.sqrt(1.0 - autocorr**2)
+    noise = rng.standard_normal(n)
+    for i in range(1, n):
+        latent[i] = autocorr * latent[i - 1] + innovation_scale * noise[i]
+    uniform = stats.norm.cdf(latent)
+    a = mean * concentration
+    b = (1.0 - mean) * concentration
+    return stats.beta.ppf(uniform, a, b)
+
+
+def google_trace(n: int = 2048, seed: int = 20110501) -> UtilizationTrace:
+    """Google cluster-usage style trace: ~70 % allocated, mid-spread."""
+    rng = np.random.default_rng(seed)
+    samples = _beta_ar1(n, mean=0.70, concentration=40.0, autocorr=0.9, rng=rng)
+    return UtilizationTrace("google", samples, source="Google cluster trace (v2)")
+
+
+def alibaba_trace(n: int = 2048, seed: int = 20180101) -> UtilizationTrace:
+    """Alibaba cluster-trace-v2018 style: ~88 % allocated, concentrated."""
+    rng = np.random.default_rng(seed)
+    samples = _beta_ar1(n, mean=0.88, concentration=90.0, autocorr=0.9, rng=rng)
+    return UtilizationTrace("alibaba", samples, source="Alibaba cluster-trace-v2018")
+
+
+def bitbrains_trace(n: int = 4096, seed: int = 20150301,
+                    cpu_filter: float = 0.30) -> UtilizationTrace:
+    """Bitbrains GWA-T-12 style enterprise-VM trace: ~28 % allocated.
+
+    The raw VM data includes long idle stretches; following the paper,
+    memory samples only count while CPU utilisation exceeds
+    ``cpu_filter`` (30 %).
+    """
+    rng = np.random.default_rng(seed)
+    memory = _beta_ar1(n, mean=0.24, concentration=8.0, autocorr=0.85, rng=rng)
+    cpu = _beta_ar1(n, mean=0.35, concentration=6.0, autocorr=0.85, rng=rng)
+    # Busy VMs hold somewhat more memory: blend in a positive link.
+    memory = np.clip(0.8 * memory + 0.2 * cpu, 0.0, 1.0)
+    active = cpu > cpu_filter
+    if not active.any():
+        raise RuntimeError("CPU filter removed every sample")
+    return UtilizationTrace(
+        "bitbrains", memory[active], source="Bitbrains GWA-T-12 (CPU>30%)"
+    )
+
+
+def paper_traces(seed_offset: int = 0) -> Dict[str, UtilizationTrace]:
+    """All three traces keyed by name (Table I order)."""
+    return {
+        "google": google_trace(seed=20110501 + seed_offset),
+        "alibaba": alibaba_trace(seed=20180101 + seed_offset),
+        "bitbrains": bitbrains_trace(seed=20150301 + seed_offset),
+    }

@@ -1,0 +1,209 @@
+"""Synthetic cacheline content classes (workload substrate).
+
+The paper's evaluation runs SPEC CPU2006 / NPB / TPC-H under an
+execution-driven simulator and transforms the *actual* memory images.
+Those images are not redistributable, so this module provides content
+classes whose value statistics span what real applications exhibit;
+:mod:`repro.workloads.benchmarks` mixes them into per-benchmark
+profiles calibrated against the paper's Fig. 6 (zero fractions) and
+Fig. 14 (per-benchmark refresh reduction).
+
+Each class generates batches of cachelines — shape ``(n, words)`` of
+``uint64`` — with two characteristic properties:
+
+* the *raw zero-byte fraction* (what Fig. 6 measures), and
+* the *post-EBDI delta width*, which determines how many words of the
+  transformed line are discharged and hence how many refresh groups a
+  region of this class can skip (``skippable_groups`` of 8).
+
+====================  ===========================  ==========  ========
+class                 models                        zero bytes  skip g/8
+====================  ===========================  ==========  ========
+zero                  untouched/zeroed regions      8/8         8
+uniform32             memset patterns, enum fills   4/8         7
+smallint8             byte-valued arrays, flags     ~7/8        6
+smallint16            short ints, indices           ~6/8        5
+pointer               heap pointer arrays           2/8         5
+int32                 32-bit integer arrays         ~4/8        3
+medium                counters w/ 24-bit locality   0           4
+int48                 48-bit packed values          ~2/8        1
+wide                  hashes w/ 40-bit locality     0           2
+float64               FP arrays (shared exponent)   0           1
+text                  ASCII buffers                 0           0
+padded                alignment-padded structs      ~6.5/8      0
+random                compressed/encrypted data     ~0          0
+====================  ===========================  ==========  ========
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+WORDS_PER_LINE = 8
+_U64 = np.uint64
+
+
+def _lines(n: int) -> tuple:
+    return (n, WORDS_PER_LINE)
+
+
+def zero_lines(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Fully zero lines (idle or never-touched regions)."""
+    return np.zeros(_lines(n), dtype=_U64)
+
+
+def uniform32_lines(n: int, rng: np.random.Generator) -> np.ndarray:
+    """One random 32-bit value replicated across the line (fill patterns)."""
+    value = rng.integers(1, 2**32, size=(n, 1), dtype=np.uint64)
+    return np.broadcast_to(value, _lines(n)).copy()
+
+
+def smallint8_lines(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Independent byte-sized values per word (flag/char arrays)."""
+    return rng.integers(0, 2**8, size=_lines(n), dtype=np.uint64)
+
+
+def smallint16_lines(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Independent 16-bit values per word (short ints, small indices)."""
+    return rng.integers(0, 2**16, size=_lines(n), dtype=np.uint64)
+
+
+def pointer_lines(n: int, rng: np.random.Generator,
+                  region_base: int = 0x00007F0000000000) -> np.ndarray:
+    """Pointer arrays: shared 48-bit user-space base, 16-bit structure offsets."""
+    anchor = region_base + rng.integers(0, 2**40, size=(n, 1), dtype=np.uint64)
+    offsets = rng.integers(0, 2**15, size=_lines(n), dtype=np.uint64)
+    return anchor + offsets
+
+
+def int32_lines(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Independent 32-bit values per word (int arrays, RGBA, IDs)."""
+    return rng.integers(0, 2**32, size=_lines(n), dtype=np.uint64)
+
+
+def medium_lines(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Random 64-bit base with 24-bit intra-line locality."""
+    base = rng.integers(0, 2**63, size=(n, 1), dtype=np.uint64)
+    return base + rng.integers(0, 2**23, size=_lines(n), dtype=np.uint64)
+
+
+def int48_lines(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Independent 48-bit packed values (timestamps, packed structs)."""
+    return rng.integers(0, 2**48, size=_lines(n), dtype=np.uint64)
+
+
+def wide_lines(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Random base with 40-bit locality (sparse hashes, large counters)."""
+    base = rng.integers(0, 2**63, size=(n, 1), dtype=np.uint64)
+    return base + rng.integers(0, 2**39, size=_lines(n), dtype=np.uint64)
+
+
+def float64_lines(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Double-precision arrays: shared sign/exponent, random mantissas."""
+    exponent = rng.integers(1000, 1030, size=(n, 1), dtype=np.uint64) << np.uint64(52)
+    mantissa = rng.integers(0, 2**52, size=_lines(n), dtype=np.uint64)
+    return exponent | mantissa
+
+
+def text_lines(n: int, rng: np.random.Generator) -> np.ndarray:
+    """ASCII text buffers: every byte in [0x20, 0x7F)."""
+    raw = rng.integers(0x20, 0x7F, size=(n, WORDS_PER_LINE, 8), dtype=np.uint8)
+    return np.ascontiguousarray(raw).reshape(n, -1).view("<u8").reshape(_lines(n))
+
+
+def padded_lines(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Padding-heavy structs: mostly-zero bytes at irregular positions.
+
+    Each word carries one or two random non-zero bytes at random byte
+    positions — think sparsely filled, alignment-padded C structs.  The
+    byte-level zero fraction is high (~80 %, a big contributor to
+    Fig. 6's 43 % average) but the deltas are full-width, so EBDI cannot
+    recover discharged words from this data.
+    """
+    out = np.zeros((n, WORDS_PER_LINE, 8), dtype=np.uint8)
+    flat = out.reshape(-1, 8)
+    positions = rng.integers(0, 8, size=len(flat))
+    flat[np.arange(len(flat)), positions] = rng.integers(
+        1, 256, size=len(flat), dtype=np.uint8
+    )
+    second = rng.random(len(flat)) < 0.5
+    positions2 = rng.integers(0, 8, size=len(flat))
+    rows = np.flatnonzero(second)
+    flat[rows, positions2[rows]] = rng.integers(
+        1, 256, size=len(rows), dtype=np.uint8
+    )
+    return np.ascontiguousarray(out).reshape(n, -1).view("<u8").reshape(_lines(n))
+
+
+def random_lines(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniformly random bits (compressed or encrypted payloads)."""
+    return rng.integers(0, 2**64, size=_lines(n), dtype=np.uint64)
+
+
+LineGenerator = Callable[[int, np.random.Generator], np.ndarray]
+
+LINE_CLASSES: Dict[str, LineGenerator] = {
+    "zero": zero_lines,
+    "uniform32": uniform32_lines,
+    "smallint8": smallint8_lines,
+    "smallint16": smallint16_lines,
+    "pointer": pointer_lines,
+    "int32": int32_lines,
+    "medium": medium_lines,
+    "int48": int48_lines,
+    "wide": wide_lines,
+    "float64": float64_lines,
+    "text": text_lines,
+    "padded": padded_lines,
+    "random": random_lines,
+}
+"""All content classes keyed by name."""
+
+SKIPPABLE_GROUPS: Dict[str, int] = {
+    "zero": 8,
+    "uniform32": 7,
+    "smallint8": 6,
+    "smallint16": 5,
+    "pointer": 5,
+    "int32": 3,
+    "medium": 4,
+    "int48": 1,
+    "wide": 2,
+    "float64": 1,
+    "text": 0,
+    "padded": 0,
+    "random": 0,
+}
+"""Refresh groups (of 8 word positions) a pure region of the class can
+skip after full transformation — the analytic model behind profile
+calibration, verified against the simulator by the test suite."""
+
+
+def generate_lines(class_name: str, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Generate ``n`` cachelines of a named content class."""
+    try:
+        generator = LINE_CLASSES[class_name]
+    except KeyError:
+        raise ValueError(
+            f"unknown content class {class_name!r}; "
+            f"expected one of {sorted(LINE_CLASSES)}"
+        ) from None
+    return generator(n, rng)
+
+
+def zero_byte_fraction(lines: np.ndarray) -> float:
+    """Fraction of zero bytes (Fig. 6's 1-byte granularity metric)."""
+    raw = np.ascontiguousarray(lines).view(np.uint8)
+    return float((raw == 0).mean())
+
+
+def zero_block_fraction(lines: np.ndarray, block_bytes: int = 1024) -> float:
+    """Fraction of fully-zero aligned blocks (Fig. 6's 1 KB metric)."""
+    raw = np.ascontiguousarray(lines).view(np.uint8).reshape(-1)
+    usable = (raw.size // block_bytes) * block_bytes
+    if usable == 0:
+        raise ValueError("content smaller than one block")
+    blocks = raw[:usable].reshape(-1, block_bytes)
+    return float((blocks == 0).all(axis=1).mean())

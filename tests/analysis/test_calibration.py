@@ -1,0 +1,78 @@
+"""Tests for the calibration-verification utilities."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    CalibrationPoint,
+    compare,
+    report,
+)
+from repro.core.config import SystemConfig
+from repro.core.zero_refresh import ZeroRefreshSystem
+from repro.workloads.benchmarks import benchmark_profile
+
+
+class TestCalibrationPoint:
+    def test_idle_pages_fold_into_analytic(self):
+        point = CalibrationPoint("x", analytic_reduction=0.4,
+                                 measured_reduction=0.6,
+                                 allocated_fraction=0.5)
+        assert point.analytic_with_idle == pytest.approx(0.7)
+        assert point.error == pytest.approx(-0.1)
+        assert point.relative_error == pytest.approx(-0.1 / 0.7)
+
+    def test_full_allocation(self):
+        point = CalibrationPoint("x", 0.4, 0.38)
+        assert point.analytic_with_idle == pytest.approx(0.4)
+
+
+class TestCalibrationReport:
+    def test_summary_stats(self):
+        points = [
+            CalibrationPoint("a", 0.5, 0.45),
+            CalibrationPoint("b", 0.2, 0.22),
+        ]
+        rep = report(points)
+        assert rep.mean_error == pytest.approx((-0.05 + 0.02) / 2)
+        assert rep.max_abs_error == pytest.approx(0.05)
+        assert rep.within(0.05)
+        assert not rep.within(0.04)
+
+    def test_rank_correlation_perfect_order(self):
+        points = [
+            CalibrationPoint("a", 0.5, 0.42),
+            CalibrationPoint("b", 0.3, 0.25),
+            CalibrationPoint("c", 0.1, 0.08),
+        ]
+        assert report(points).rank_correlation == pytest.approx(1.0)
+
+    def test_rank_correlation_inverted(self):
+        points = [
+            CalibrationPoint("a", 0.5, 0.1),
+            CalibrationPoint("b", 0.3, 0.2),
+            CalibrationPoint("c", 0.1, 0.5),
+        ]
+        assert report(points).rank_correlation == pytest.approx(-1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            report([])
+
+
+class TestEndToEndCalibration:
+    def test_simulation_tracks_analytic_suite_wide(self):
+        """Measured reductions follow the analytic ordering closely and
+        sit within a bounded (traffic-explained) gap below it."""
+        points = []
+        for i, name in enumerate(("gemsFDTD", "libquantum", "mcf",
+                                  "bzip2", "omnetpp")):
+            config = SystemConfig.scaled(total_bytes=8 << 20, rows_per_ar=32,
+                                         seed=20 + i)
+            system = ZeroRefreshSystem(config)
+            profile = benchmark_profile(name)
+            system.populate(profile, allocated_fraction=1.0)
+            result = system.run_windows(2)
+            points.append(compare(profile, result))
+        rep = report(points)
+        assert rep.rank_correlation > 0.89
+        assert -0.12 < rep.mean_error <= 0.02  # under-achieves, bounded

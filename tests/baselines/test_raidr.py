@@ -1,0 +1,81 @@
+"""Tests for the RAIDR baseline and its VRT exposure."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.raidr import RaidrScheduler
+from repro.dram.variation import RetentionProfile, VrtProcess
+
+
+@pytest.fixture
+def profile():
+    return RetentionProfile.sample(8192, rng=np.random.default_rng(0))
+
+
+class TestBinning:
+    def test_most_rows_land_in_slow_bin(self, profile):
+        scheduler = RaidrScheduler(profile)
+        histogram = scheduler.bin_histogram()
+        assert histogram[-1] > 0.8 * len(profile.row_retention_s)
+
+    def test_guardband_moves_rows_to_faster_bins(self, profile):
+        loose = RaidrScheduler(profile, guardband=1.0)
+        tight = RaidrScheduler(profile, guardband=4.0)
+        assert tight.bin_histogram()[-1] <= loose.bin_histogram()[-1]
+
+    def test_expected_reduction_substantial(self, profile):
+        """RAIDR's selling point: most refreshes disappear."""
+        scheduler = RaidrScheduler(profile)
+        assert scheduler.expected_reduction() > 0.5
+
+    def test_rejects_bad_periods(self, profile):
+        with pytest.raises(ValueError):
+            RaidrScheduler(profile, bin_periods_s=(0.0, 0.1))
+
+
+class TestScheduling:
+    def test_measured_matches_expected(self, profile):
+        scheduler = RaidrScheduler(profile)
+        stats = scheduler.run(8)
+        assert stats.reduction() == pytest.approx(
+            scheduler.expected_reduction(), abs=0.05
+        )
+
+    def test_window_zero_refreshes_everything(self, profile):
+        scheduler = RaidrScheduler(profile)
+        delta = scheduler.run_window()
+        assert delta.refreshes_performed == len(profile.row_retention_s)
+
+    def test_fast_bin_refreshes_every_window(self, profile):
+        scheduler = RaidrScheduler(profile)
+        fast_rows = int((scheduler.row_bins == 0).sum())
+        scheduler.run_window()
+        delta = scheduler.run_window()  # window 1: only bin-0 due
+        assert delta.refreshes_performed >= fast_rows
+
+
+class TestVrtExposure:
+    def test_static_profile_accumulates_unsafe_rows(self, profile):
+        """Hours of VRT leave binned rows below their assigned period —
+        the reliability debt the paper charges retention-aware schemes."""
+        scheduler = RaidrScheduler(profile)
+        vrt = VrtProcess(profile, flips_per_row_per_hour=0.05,
+                         rng=np.random.default_rng(1))
+        # simulate ~2 hours of windows cheaply: advance VRT in bulk
+        vrt.advance(2 * 3600.0)
+        unsafe = vrt.unsafe_rows(scheduler.assigned_period_s)
+        assert len(unsafe) > 0
+        stats = scheduler.run(4, vrt=vrt)
+        assert stats.unsafe_row_windows > 0
+
+    def test_zero_refresh_immunity_argument(self, profile):
+        """ZERO-REFRESH skips only discharged rows; their retention is
+        irrelevant, so VRT cannot make a skipped row unsafe.  (The
+        charged rows keep the standard 64 ms schedule, which the floor
+        guarantee covers by construction.)"""
+        vrt = VrtProcess(profile, flips_per_row_per_hour=0.2,
+                         rng=np.random.default_rng(2))
+        vrt.advance(10 * 3600.0)
+        standard_period = np.full(len(profile.row_retention_s), 0.064)
+        # even after heavy VRT, nothing sits below the standard period
+        assert len(vrt.unsafe_rows(standard_period)) == 0

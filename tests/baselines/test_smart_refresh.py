@@ -1,0 +1,66 @@
+"""Tests for the Smart Refresh baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.smart_refresh import SmartRefreshTracker
+from repro.dram.geometry import DramGeometry
+
+
+@pytest.fixture
+def geom():
+    return DramGeometry(rows_per_bank=256, rows_per_ar=128, cell_interleave=64)
+
+
+class TestSmartRefreshTracker:
+    def test_no_accesses_refreshes_everything(self, geom):
+        tracker = SmartRefreshTracker(geom)
+        stats = tracker.run_window()
+        assert stats.groups_refreshed == geom.total_rows
+        assert stats.groups_skipped == 0
+
+    def test_accessed_rows_skip_next_window(self, geom):
+        tracker = SmartRefreshTracker(geom)
+        tracker.note_access(0, 10)
+        tracker.note_access(1, 20)
+        stats = tracker.run_window()
+        assert stats.groups_skipped == 2
+        assert stats.groups_refreshed == geom.total_rows - 2
+
+    def test_counters_decay(self, geom):
+        tracker = SmartRefreshTracker(geom)
+        tracker.note_access(0, 10)
+        tracker.run_window()
+        stats = tracker.run_window()  # no new access
+        assert stats.groups_skipped == 0
+
+    def test_vectorised_accesses(self, geom):
+        tracker = SmartRefreshTracker(geom)
+        tracker.note_accesses(np.array([0, 0, 3]), np.array([1, 2, 3]))
+        stats = tracker.run_window()
+        assert stats.groups_skipped == 3
+
+    def test_effectiveness_is_touched_fraction(self, geom):
+        """The Fig. 19 scaling property: benefit == touched fraction."""
+        tracker = SmartRefreshTracker(geom)
+        rng = np.random.default_rng(0)
+        banks = rng.integers(0, geom.num_banks, size=500)
+        rows = rng.integers(0, geom.rows_per_bank, size=500)
+        tracker.note_accesses(banks, rows)
+        touched = len({(b, r) for b, r in zip(banks.tolist(), rows.tolist())})
+        stats = tracker.run_window()
+        assert stats.groups_skipped == touched
+        assert stats.normalized_refresh() == pytest.approx(
+            1 - touched / geom.total_rows
+        )
+
+    def test_table_cost(self, geom):
+        tracker = SmartRefreshTracker(geom)
+        assert tracker.table_bits == geom.total_rows * 2
+
+    def test_stats_accumulate(self, geom):
+        tracker = SmartRefreshTracker(geom)
+        tracker.run_window()
+        tracker.run_window()
+        assert tracker.stats.windows == 2
+        assert tracker.stats.groups_refreshed == 2 * geom.total_rows

@@ -1,0 +1,46 @@
+"""Tests for the zero-indicator-bit baseline (Patel et al.)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.zero_indicator import ZeroIndicatorScheme
+from repro.workloads.benchmarks import benchmark_profile
+
+
+class TestZeroIndicatorScheme:
+    def test_area_overhead_range(self):
+        assert ZeroIndicatorScheme(8).area_overhead == pytest.approx(1 / 8)
+        assert ZeroIndicatorScheme(32).area_overhead == pytest.approx(1 / 32)
+
+    def test_rejects_bad_granularity(self):
+        with pytest.raises(ValueError):
+            ZeroIndicatorScheme(4)
+
+    def test_segment_fraction_on_known_content(self):
+        scheme = ZeroIndicatorScheme(32)
+        lines = np.zeros((16, 8), dtype=np.uint64)
+        lines[8:] = 0xFFFFFFFFFFFFFFFF
+        assert scheme.segment_zero_fraction(lines) == pytest.approx(0.5)
+
+    def test_row_skip_needs_whole_zero_row(self):
+        scheme = ZeroIndicatorScheme(32)
+        pages = np.zeros((2, 64, 8), dtype=np.uint64)
+        pages[1, 0, 0] = 1  # single non-zero word spoils its row
+        assert scheme.row_skip_fraction(pages) == pytest.approx(0.5)
+
+    def test_much_weaker_than_zero_refresh_on_benchmarks(self):
+        """Raw zero rows are rare (paper: ~2.3% of 1KB blocks), so the
+        prior scheme skips far less than transformed ZERO-REFRESH."""
+        scheme = ZeroIndicatorScheme(32)
+        rng = np.random.default_rng(0)
+        profile = benchmark_profile("mcf")
+        pages = profile.generate_pages(512, rng)
+        raw_skip = scheme.row_skip_fraction(pages)
+        assert raw_skip < 0.1
+        assert raw_skip < profile.expected_reduction() / 2
+
+    def test_area_overhead_dwarfs_zero_refresh_tracking(self):
+        """1/32 of capacity vs 1 bit per 4KB row (1/32768)."""
+        scheme = ZeroIndicatorScheme(32)
+        zero_refresh_overhead = 1 / (4096 * 8)
+        assert scheme.area_overhead > 1000 * zero_refresh_overhead

@@ -1,0 +1,94 @@
+"""Tests for page/line address mapping."""
+
+import numpy as np
+import pytest
+
+from repro.controller.mapping import AddressMapper
+from repro.dram.geometry import DramGeometry
+
+
+def make_mapper(row_bytes=4096):
+    geom = DramGeometry(rows_per_bank=(8 << 20) // (8 * row_bytes),
+                        row_bytes=row_bytes, rows_per_ar=32,
+                        cell_interleave=32)
+    return AddressMapper(geom)
+
+
+class TestPageRowMapping4K:
+    def test_one_row_per_page(self):
+        mapper = make_mapper(4096)
+        assert mapper.rows_per_page == 1
+        assert mapper.pages_per_row == 1
+
+    def test_page_zero_is_bank0_row0(self):
+        mapper = make_mapper(4096)
+        banks, rows = mapper.page_rows(0)
+        assert int(banks) == 0 and int(rows) == 0
+
+    def test_consecutive_pages_interleave_banks(self):
+        mapper = make_mapper(4096)
+        banks, rows = mapper.page_rows(np.arange(10))
+        np.testing.assert_array_equal(banks, np.arange(10) % 8)
+        np.testing.assert_array_equal(rows, np.arange(10) // 8)
+
+    def test_page_of_row_inverts(self):
+        mapper = make_mapper(4096)
+        for page in (0, 1, 17, 100):
+            banks, rows = mapper.page_rows(page)
+            assert mapper.page_of_row(int(banks), int(rows)) == page
+
+    def test_page_lines_match_line_decomposition(self):
+        mapper = make_mapper(4096)
+        page = 13
+        lines = mapper.page_lines(page)
+        banks, rows, _ = mapper.line_location(lines)
+        page_banks, page_rows = mapper.page_rows(page)
+        assert (banks == int(page_banks)).all()
+        assert (rows == int(page_rows)).all()
+
+    def test_rejects_out_of_range_page(self):
+        mapper = make_mapper(4096)
+        with pytest.raises(ValueError):
+            mapper.page_rows(mapper.total_pages)
+        with pytest.raises(ValueError):
+            mapper.page_lines(-1)
+
+
+class TestPageRowMapping2K:
+    def test_two_rows_per_page(self):
+        mapper = make_mapper(2048)
+        assert mapper.rows_per_page == 2
+        banks, rows = mapper.page_rows(0)
+        assert banks.shape[-1] == 2
+
+    def test_page_rows_consistent_with_lines(self):
+        mapper = make_mapper(2048)
+        page = 5
+        lines = mapper.page_lines(page)
+        line_banks, line_rows, _ = mapper.line_location(lines)
+        page_banks, page_rows = mapper.page_rows(page)
+        assert set(zip(line_banks.tolist(), line_rows.tolist())) == set(
+            zip(np.ravel(page_banks).tolist(), np.ravel(page_rows).tolist())
+        )
+
+
+class TestPageRowMapping8K:
+    def test_two_pages_per_row(self):
+        mapper = make_mapper(8192)
+        assert mapper.pages_per_row == 2
+        banks0, rows0 = mapper.page_rows(0)
+        banks1, rows1 = mapper.page_rows(1)
+        assert (int(banks0), int(rows0)) == (int(banks1), int(rows1))
+
+    def test_line_offsets_within_shared_row(self):
+        mapper = make_mapper(8192)
+        assert mapper.page_line_offset(0) == 0
+        assert mapper.page_line_offset(1) == 64
+        assert mapper.page_line_offset(2) == 0
+
+    def test_lines_land_in_correct_half(self):
+        mapper = make_mapper(8192)
+        lines = mapper.page_lines(1)
+        _, _, line_in_row = mapper.line_location(lines)
+        assert line_in_row.min() == 64
+        assert line_in_row.max() == 127

@@ -1,0 +1,151 @@
+"""Tests for the memory-controller front end."""
+
+import numpy as np
+import pytest
+
+from repro.controller.memctrl import MemoryController
+from repro.dram.device import DramDevice
+from repro.dram.geometry import DramGeometry
+from repro.transform.celltype import CellTypeLayout, CellTypePredictor
+from repro.transform.codec import StageSelection, ValueTransformCodec
+
+
+def make_controller(row_bytes=4096, stages=StageSelection.full()):
+    geom = DramGeometry(rows_per_bank=(8 << 20) // (8 * row_bytes),
+                        row_bytes=row_bytes, rows_per_ar=32,
+                        cell_interleave=32)
+    layout = CellTypeLayout(interleave=32)
+    device = DramDevice(geom, layout)
+    predictor = CellTypePredictor.from_layout(layout, geom.rows_per_bank)
+    codec = ValueTransformCodec(predictor, line_bytes=geom.line_bytes,
+                                stages=stages)
+    return MemoryController(device, codec)
+
+
+class TestLineInterface:
+    def test_roundtrip_single_line(self):
+        ctrl = make_controller()
+        rng = np.random.default_rng(0)
+        line = rng.integers(0, 2**64, size=8, dtype=np.uint64)
+        ctrl.write_line(1234, line)
+        np.testing.assert_array_equal(ctrl.read_line(1234), line)
+
+    def test_counts_ebdi_ops_on_both_paths(self):
+        ctrl = make_controller()
+        line = np.zeros(8, dtype=np.uint64)
+        ctrl.write_line(0, line)
+        ctrl.read_line(0)
+        assert ctrl.ebdi_ops == 2
+        assert ctrl.line_writes == 1
+        assert ctrl.line_reads == 1
+
+    def test_stored_bits_differ_from_logical(self):
+        """The device must hold transformed, not raw, bits."""
+        ctrl = make_controller()
+        rng = np.random.default_rng(1)
+        line = rng.integers(1, 2**63, size=8, dtype=np.uint64)
+        ctrl.write_line(0, line)
+        bank, row, lir = ctrl.mapper.line_location(0)
+        raw = ctrl.device.read_line(int(bank), int(row), int(lir))
+        assert not np.array_equal(raw.ravel(), line)
+
+    def test_batch_write_matches_single_writes(self):
+        ctrl_a = make_controller()
+        ctrl_b = make_controller()
+        rng = np.random.default_rng(2)
+        addrs = np.array([0, 7, 200, 3333, 40000])
+        lines = rng.integers(0, 2**64, size=(5, 8), dtype=np.uint64)
+        ctrl_a.write_lines(addrs, lines)
+        for addr, line in zip(addrs, lines):
+            ctrl_b.write_line(int(addr), line)
+        for bank_a, bank_b in zip(ctrl_a.device.banks, ctrl_b.device.banks):
+            np.testing.assert_array_equal(bank_a.data, bank_b.data)
+
+    def test_batch_write_roundtrip(self):
+        ctrl = make_controller()
+        rng = np.random.default_rng(3)
+        addrs = rng.choice(ctrl.geometry.total_lines, size=64, replace=False)
+        lines = rng.integers(0, 2**64, size=(64, 8), dtype=np.uint64)
+        ctrl.write_lines(addrs, lines)
+        for addr, line in zip(addrs, lines):
+            np.testing.assert_array_equal(ctrl.read_line(int(addr)), line)
+
+    def test_empty_batch_is_noop(self):
+        ctrl = make_controller()
+        ctrl.write_lines(np.array([], dtype=np.int64),
+                         np.empty((0, 8), dtype=np.uint64))
+        assert ctrl.line_writes == 0
+
+
+class TestPageInterface:
+    @pytest.mark.parametrize("row_bytes", [2048, 4096, 8192])
+    def test_page_roundtrip(self, row_bytes):
+        ctrl = make_controller(row_bytes)
+        rng = np.random.default_rng(4)
+        lines = rng.integers(0, 2**64, size=(64, 8), dtype=np.uint64)
+        ctrl.write_page(3, lines)
+        np.testing.assert_array_equal(ctrl.read_page(3), lines)
+
+    @pytest.mark.parametrize("row_bytes", [2048, 4096, 8192])
+    def test_neighbouring_pages_do_not_clobber(self, row_bytes):
+        ctrl = make_controller(row_bytes)
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 2**64, size=(64, 8), dtype=np.uint64)
+        b = rng.integers(0, 2**64, size=(64, 8), dtype=np.uint64)
+        ctrl.write_page(0, a)
+        ctrl.write_page(1, b)
+        np.testing.assert_array_equal(ctrl.read_page(0), a)
+        np.testing.assert_array_equal(ctrl.read_page(1), b)
+
+    def test_zero_page_stores_discharged_bits(self):
+        ctrl = make_controller()
+        ctrl.zero_page(0)  # true-cell row
+        bank, row = 0, 0
+        assert not ctrl.device.banks[bank].data[row].any()
+        # find an anti-cell page: row 32 with interleave 32 -> page 32*8
+        anti_page = 32 * 8
+        ctrl.zero_page(anti_page)
+        assert (ctrl.device.banks[0].data[32]
+                == np.uint64(0xFFFFFFFFFFFFFFFF)).all()
+
+    def test_page_and_line_views_agree(self):
+        ctrl = make_controller()
+        rng = np.random.default_rng(6)
+        lines = rng.integers(0, 2**64, size=(64, 8), dtype=np.uint64)
+        ctrl.write_page(2, lines)
+        for i, addr in enumerate(ctrl.mapper.page_lines(2)[:8]):
+            np.testing.assert_array_equal(ctrl.read_line(int(addr)), lines[i])
+
+
+class TestBulkPopulate:
+    @pytest.mark.parametrize("row_bytes", [2048, 4096, 8192])
+    def test_populate_matches_page_writes(self, row_bytes):
+        ctrl_a = make_controller(row_bytes)
+        ctrl_b = make_controller(row_bytes)
+        rng = np.random.default_rng(7)
+        pages = np.arange(16)
+        content = rng.integers(0, 2**64, size=(16, 64, 8), dtype=np.uint64)
+        ctrl_a.populate_pages(pages, content)
+        for page in pages:
+            ctrl_b.write_page(int(page), content[page])
+        for bank_a, bank_b in zip(ctrl_a.device.banks, ctrl_b.device.banks):
+            np.testing.assert_array_equal(bank_a.data, bank_b.data)
+
+    def test_unnotified_populate_keeps_access_bits_clear(self):
+        ctrl = make_controller()
+        seen = []
+        ctrl.device.add_write_observer(lambda b, r: seen.append((b, r)))
+        content = np.zeros((4, 64, 8), dtype=np.uint64)
+        ctrl.populate_pages(np.arange(4), content, notify=False)
+        assert seen == []
+        assert ctrl.ebdi_ops == 0
+
+    def test_mismatched_codec_rejected(self):
+        geom = DramGeometry(rows_per_bank=256, rows_per_ar=32,
+                            cell_interleave=32)
+        layout = CellTypeLayout(interleave=32)
+        device = DramDevice(geom, layout)
+        predictor = CellTypePredictor.from_layout(layout, geom.rows_per_bank)
+        codec = ValueTransformCodec(predictor, num_chips=4, line_bytes=32)
+        with pytest.raises(ValueError):
+            MemoryController(device, codec)

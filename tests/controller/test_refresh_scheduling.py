@@ -1,0 +1,100 @@
+"""Tests for the latency-hiding refresh scheduler models."""
+
+import pytest
+
+from repro.controller.refresh_scheduling import (
+    JEDEC_MAX_POSTPONED,
+    BaselineRefreshStall,
+    ElasticRefreshQueue,
+    RefreshPausingModel,
+    zero_refresh_stall,
+)
+from repro.dram.timing import TimingParams
+
+
+@pytest.fixture
+def timing():
+    return TimingParams()
+
+
+class TestBaseline:
+    def test_collision_is_duty_cycle(self, timing):
+        report = BaselineRefreshStall(timing).report()
+        duty = timing.trfc_ns / (timing.tret_s / 8192 * 1e9)
+        assert report.collision_probability == pytest.approx(duty)
+        assert report.mean_stall_ns == pytest.approx(timing.trfc_ns / 2)
+
+    def test_stall_per_access(self, timing):
+        report = BaselineRefreshStall(timing).report()
+        assert report.stall_per_access_ns == pytest.approx(
+            report.collision_probability * report.mean_stall_ns
+        )
+
+
+class TestElasticRefresh:
+    def test_debt_hides_most_busy_ars(self, timing):
+        queue = ElasticRefreshQueue(timing)
+        hidden = queue.hidden_fraction(busy_time_fraction=0.5,
+                                       mean_busy_ars=4.0)
+        assert hidden > 0.85  # 8 deep debt vs mean-4 phases
+
+    def test_no_debt_hides_nothing(self, timing):
+        queue = ElasticRefreshQueue(timing, max_postponed=0)
+        assert queue.hidden_fraction(0.5) == 0.0
+
+    def test_elastic_beats_baseline(self, timing):
+        base = BaselineRefreshStall(timing).report()
+        elastic = ElasticRefreshQueue(timing).report(busy_time_fraction=0.5)
+        assert elastic.stall_per_access_ns < base.stall_per_access_ns
+
+    def test_longer_busy_phases_hide_less(self, timing):
+        queue = ElasticRefreshQueue(timing)
+        short = queue.report(0.5, mean_busy_ars=2.0)
+        long = queue.report(0.5, mean_busy_ars=32.0)
+        assert long.stall_per_access_ns > short.stall_per_access_ns
+
+    def test_jedec_limit_constant(self):
+        assert JEDEC_MAX_POSTPONED == 8
+
+    def test_rejects_bad_inputs(self, timing):
+        with pytest.raises(ValueError):
+            ElasticRefreshQueue(timing, max_postponed=-1)
+        with pytest.raises(ValueError):
+            ElasticRefreshQueue(timing).hidden_fraction(1.5)
+
+
+class TestRefreshPausing:
+    def test_pause_wait_is_one_row_interval(self, timing):
+        model = RefreshPausingModel(timing, rows_per_ar=128)
+        assert model.pause_granularity_ns == pytest.approx(
+            timing.trfc_ns / 128
+        )
+
+    def test_pausing_slashes_mean_stall(self, timing):
+        base = BaselineRefreshStall(timing).report()
+        paused = RefreshPausingModel(timing).report()
+        assert paused.mean_stall_ns < base.mean_stall_ns / 50
+
+    def test_rejects_bad_rows(self, timing):
+        with pytest.raises(ValueError):
+            RefreshPausingModel(timing, rows_per_ar=0)
+
+
+class TestZeroRefreshStall:
+    def test_skipping_scales_collisions(self, timing):
+        full = zero_refresh_stall(timing, normalized_refresh=1.0)
+        skipping = zero_refresh_stall(timing, normalized_refresh=0.4)
+        assert skipping.collision_probability == pytest.approx(
+            full.collision_probability * 0.4
+        )
+
+    def test_policies_are_complementary(self, timing):
+        """Scheduling hides latency, skipping removes work: combining
+        ZERO-REFRESH's reduced duty with pausing's tiny waits compounds."""
+        base = BaselineRefreshStall(timing).report()
+        zr = zero_refresh_stall(timing, 0.6)
+        paused = RefreshPausingModel(timing).report()
+        combined = zr.collision_probability * paused.mean_stall_ns
+        assert combined < zr.stall_per_access_ns
+        assert combined < paused.stall_per_access_ns
+        assert combined < base.stall_per_access_ns

@@ -1,0 +1,61 @@
+"""Tests for the bank-availability (refresh interference) model."""
+
+import pytest
+
+from repro.controller.scheduler import BankAvailabilityModel
+from repro.dram.refresh import RefreshStats
+from repro.dram.timing import TemperatureMode, TimingParams
+
+
+@pytest.fixture
+def model():
+    return BankAvailabilityModel(timing=TimingParams())
+
+
+class TestBaseline:
+    def test_baseline_unavailability(self, model):
+        # tRFC=28ns every tRET/8192 = 3.906us -> ~0.717%
+        assert model.baseline_unavailability == pytest.approx(
+            28e-9 / (0.032 / 8192), rel=1e-6
+        )
+
+    def test_normal_temperature_halves_duty(self):
+        timing = TimingParams().with_temperature(TemperatureMode.NORMAL)
+        model = BankAvailabilityModel(timing=timing)
+        base = BankAvailabilityModel(timing=TimingParams())
+        assert model.baseline_unavailability == pytest.approx(
+            base.baseline_unavailability / 2
+        )
+
+
+class TestUnavailability:
+    def test_no_skipping_matches_baseline(self, model):
+        stats = RefreshStats(groups_refreshed=100, groups_skipped=0)
+        assert model.unavailability(stats) == pytest.approx(
+            model.baseline_unavailability
+        )
+
+    def test_full_skipping_leaves_status_overhead(self, model):
+        stats = RefreshStats(groups_refreshed=0, groups_skipped=1280,
+                             ar_commands=10, status_reads=10)
+        u = model.unavailability(stats)
+        assert 0 < u < model.baseline_unavailability * 0.05
+
+    def test_partial_skipping_scales_linearly(self, model):
+        half = RefreshStats(groups_refreshed=50, groups_skipped=50)
+        u = model.unavailability(half)
+        assert u == pytest.approx(model.baseline_unavailability * 0.5)
+
+    def test_empty_stats_fall_back_to_baseline(self, model):
+        assert model.unavailability(RefreshStats()) == pytest.approx(
+            model.baseline_unavailability
+        )
+
+    def test_bandwidth_recovered_positive_when_skipping(self, model):
+        stats = RefreshStats(groups_refreshed=30, groups_skipped=70)
+        assert model.bandwidth_recovered(stats) > 0
+
+    def test_overhead_never_exceeds_baseline(self, model):
+        stats = RefreshStats(groups_refreshed=100, groups_skipped=0,
+                             ar_commands=1, status_reads=1, status_writes=1)
+        assert model.unavailability(stats) <= model.baseline_unavailability

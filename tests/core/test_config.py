@@ -1,0 +1,64 @@
+"""Tests for SystemConfig (Table II) and its factories."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.dram.timing import TemperatureMode
+from repro.transform.codec import StageSelection
+
+
+class TestFactories:
+    def test_default_matches_table2_ratios(self):
+        config = SystemConfig()
+        assert config.geometry.num_chips == 8
+        assert config.geometry.num_banks == 8
+        assert config.geometry.row_bytes == 4096
+        assert config.geometry.line_bytes == 64
+        assert config.geometry.word_bytes == 8
+        assert config.timing.trfc_ns == 28.0
+        assert config.timing.currents.idd5 == 120.0
+
+    def test_paper_capacity(self):
+        config = SystemConfig.paper()
+        assert config.geometry.total_bytes == 32 << 30
+
+    def test_scaled_preserves_ratios(self):
+        config = SystemConfig.scaled(total_bytes=16 << 20)
+        assert config.geometry.total_bytes == 16 << 20
+        assert config.geometry.rows_per_ar == 128
+        assert config.geometry.num_chips == 8
+
+    def test_scaled_accepts_geometry_overrides(self):
+        config = SystemConfig.scaled(total_bytes=16 << 20, row_bytes=2048,
+                                     word_bytes=4, rows_per_ar=32)
+        assert config.geometry.row_bytes == 2048
+        assert config.geometry.word_bytes == 4
+        assert config.geometry.rows_per_ar == 32
+
+    def test_default_temperature_is_extended(self):
+        config = SystemConfig.scaled()
+        assert config.timing.temperature is TemperatureMode.EXTENDED
+        assert config.timing.tret_s == 0.032
+
+
+class TestDerivedConfigs:
+    def test_conventional_flips_mode_only(self):
+        config = SystemConfig.scaled()
+        conv = config.conventional()
+        assert conv.refresh_mode == "conventional"
+        assert conv.geometry == config.geometry
+
+    def test_with_temperature(self):
+        config = SystemConfig.scaled().with_temperature(TemperatureMode.NORMAL)
+        assert config.timing.tret_s == 0.064
+
+    def test_with_stages(self):
+        config = SystemConfig.scaled().with_stages(StageSelection.none())
+        assert not config.stages.ebdi
+
+    def test_table2_summary(self):
+        table = SystemConfig.paper().table2()
+        assert "32 GB" in table["memory"]
+        assert "tRFC=28" in table["timing (ns)"]
+        assert "IDD5=120" in table["currents (mA)"]
+        assert "32 ms" in table["retention"]

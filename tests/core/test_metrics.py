@@ -1,0 +1,57 @@
+"""Tests for the run-level result containers."""
+
+import pytest
+
+from repro.core.metrics import RefreshStats, RunResult
+from repro.cpu.core import IpcResult
+from repro.energy.accounting import EnergyReport
+
+
+def make_result(refreshed=60, skipped=40, ipc=None):
+    stats = RefreshStats(groups_refreshed=refreshed, groups_skipped=skipped,
+                         windows=1)
+    energy = EnergyReport(
+        refresh_nj=refreshed * 1.0,
+        ebdi_nj=1.0,
+        sram_leakage_nj=0.5,
+        status_access_nj=0.5,
+        baseline_refresh_nj=(refreshed + skipped) * 1.0,
+        duration_s=0.032,
+    )
+    return RunResult(refresh=stats, energy=energy, ipc=ipc,
+                     allocated_fraction=0.7, benchmark="mcf")
+
+
+class TestRunResult:
+    def test_normalized_refresh(self):
+        result = make_result()
+        assert result.normalized_refresh == pytest.approx(0.6)
+        assert result.refresh_reduction == pytest.approx(0.4)
+
+    def test_normalized_energy_includes_overheads(self):
+        result = make_result()
+        assert result.normalized_energy == pytest.approx(62.0 / 100.0)
+
+    def test_ipc_optional(self):
+        assert make_result().normalized_ipc is None
+        ipc = IpcResult(benchmark="mcf", baseline_ipc=1.0, ipc=1.05,
+                        baseline_unavailability=0.01, unavailability=0.005)
+        result = make_result(ipc=ipc)
+        assert result.normalized_ipc == pytest.approx(1.05)
+
+    def test_summary_contains_key_fields(self):
+        summary = make_result().summary()
+        assert "mcf" in summary
+        assert "70%" in summary
+        assert "refresh=0.600" in summary
+
+
+class TestEnergyReport:
+    def test_reduction(self):
+        result = make_result()
+        assert result.energy.reduction() == pytest.approx(1 - 0.62)
+
+    def test_zero_baseline_normalizes_to_one(self):
+        report = EnergyReport(0, 0, 0, 0, baseline_refresh_nj=0,
+                              duration_s=0.0)
+        assert report.normalized() == 1.0

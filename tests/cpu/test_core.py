@@ -1,0 +1,66 @@
+"""Tests for the analytical IPC model."""
+
+import pytest
+
+from repro.controller.scheduler import BankAvailabilityModel
+from repro.cpu.core import AnalyticalCoreModel
+from repro.dram.refresh import RefreshStats
+from repro.dram.timing import TimingParams
+from repro.workloads.benchmarks import benchmark_profile
+
+
+@pytest.fixture
+def model():
+    return AnalyticalCoreModel(BankAvailabilityModel(timing=TimingParams()))
+
+
+class TestIpcModel:
+    def test_no_skipping_means_no_speedup(self, model):
+        profile = benchmark_profile("mcf")
+        stats = RefreshStats(groups_refreshed=100, groups_skipped=0)
+        result = model.evaluate(profile, stats)
+        assert result.normalized_ipc == pytest.approx(1.0)
+
+    def test_skipping_improves_ipc(self, model):
+        profile = benchmark_profile("mcf")
+        stats = RefreshStats(groups_refreshed=60, groups_skipped=40,
+                             ar_commands=10, status_reads=8, status_writes=2)
+        result = model.evaluate(profile, stats)
+        assert result.normalized_ipc > 1.0
+        assert result.unavailability < result.baseline_unavailability
+
+    def test_memory_bound_gains_more(self, model):
+        stats = RefreshStats(groups_refreshed=60, groups_skipped=40,
+                             ar_commands=10, status_reads=10)
+        gems = model.evaluate(benchmark_profile("gemsFDTD"), stats)
+        gobmk = model.evaluate(benchmark_profile("gobmk"), stats)
+        assert gems.normalized_ipc > gobmk.normalized_ipc
+
+    def test_gains_in_paper_range(self, model):
+        """Full skipping bounds the speedup; the max must sit near the
+        paper's +10.8% and the min near +0.3%."""
+        stats = RefreshStats(groups_refreshed=0, groups_skipped=100,
+                             ar_commands=10, status_reads=10)
+        gems = model.evaluate(benchmark_profile("gemsFDTD"), stats)
+        gobmk = model.evaluate(benchmark_profile("gobmk"), stats)
+        assert 0.08 < gems.normalized_ipc - 1.0 < 0.20
+        assert 0.0 < gobmk.normalized_ipc - 1.0 < 0.02
+
+    def test_speedup_percent(self, model):
+        profile = benchmark_profile("lbm")
+        stats = RefreshStats(groups_refreshed=50, groups_skipped=50,
+                             ar_commands=10, status_reads=10)
+        result = model.evaluate(profile, stats)
+        assert result.speedup_percent == pytest.approx(
+            (result.normalized_ipc - 1) * 100
+        )
+
+    def test_rejects_negative_unavailability(self, model):
+        with pytest.raises(ValueError):
+            model.ipc_at(benchmark_profile("mcf"), -0.1)
+
+    def test_baseline_ipc_is_profile_scaled(self, model):
+        profile = benchmark_profile("h264ref")
+        u = model.availability.baseline_unavailability
+        assert model.ipc_at(profile, 0.0) == pytest.approx(profile.base_ipc)
+        assert model.ipc_at(profile, u) < profile.base_ipc

@@ -1,0 +1,116 @@
+"""Tests for the command-level timing model (Table II constraints)."""
+
+import pytest
+
+from repro.dram.commands import (
+    Command,
+    CommandTimer,
+    TimingViolation,
+)
+from repro.dram.timing import TimingParams
+
+
+@pytest.fixture
+def timer():
+    return CommandTimer(TimingParams(), num_banks=8)
+
+
+T = TimingParams()
+TRP = T.trc_ns - T.tras_ns
+
+
+class TestActivation:
+    def test_act_then_read_after_trcd(self, timer):
+        timer.issue(Command.ACT, 0, 0.0, row=5)
+        with pytest.raises(TimingViolation):
+            timer.issue(Command.RD, 0, T.trcd_ns - 1.0)
+        timer.issue(Command.RD, 0, T.trcd_ns, row=5)
+
+    def test_read_wrong_row_rejected(self, timer):
+        timer.issue(Command.ACT, 0, 0.0, row=5)
+        with pytest.raises(TimingViolation, match="row"):
+            timer.issue(Command.RD, 0, T.trcd_ns, row=6)
+
+    def test_act_needs_row(self, timer):
+        with pytest.raises(ValueError):
+            timer.issue(Command.ACT, 0, 0.0)
+
+    def test_double_act_same_bank_rejected(self, timer):
+        timer.issue(Command.ACT, 0, 0.0, row=1)
+        with pytest.raises(TimingViolation, match="open"):
+            timer.issue(Command.ACT, 0, T.trc_ns + 1, row=2)
+
+    def test_trrd_between_banks(self, timer):
+        timer.issue(Command.ACT, 0, 0.0, row=1)
+        with pytest.raises(TimingViolation):
+            timer.issue(Command.ACT, 1, T.trrd_ns - 1.0, row=1)
+        timer.issue(Command.ACT, 1, T.trrd_ns, row=1)
+
+    def test_tfaw_limits_act_burst(self, timer):
+        # Four ACTs as fast as tRRD allows...
+        for i in range(4):
+            timer.issue(Command.ACT, i, i * T.trrd_ns, row=0)
+        # ...the fifth must wait for the tFAW window.
+        fifth_earliest = timer.earliest(Command.ACT, 4)
+        assert fifth_earliest == pytest.approx(T.tfaw_ns)
+        with pytest.raises(TimingViolation):
+            timer.issue(Command.ACT, 4, 4 * T.trrd_ns, row=0)
+        timer.issue(Command.ACT, 4, T.tfaw_ns, row=0)
+
+
+class TestPrechargeCycle:
+    def test_pre_after_tras(self, timer):
+        timer.issue(Command.ACT, 0, 0.0, row=1)
+        with pytest.raises(TimingViolation):
+            timer.issue(Command.PRE, 0, T.tras_ns - 1.0)
+        timer.issue(Command.PRE, 0, T.tras_ns)
+
+    def test_act_after_pre_waits_trp(self, timer):
+        timer.issue(Command.ACT, 0, 0.0, row=1)
+        timer.issue(Command.PRE, 0, T.tras_ns)
+        with pytest.raises(TimingViolation):
+            timer.issue(Command.ACT, 0, T.tras_ns + TRP - 1.0, row=2)
+        timer.issue(Command.ACT, 0, T.tras_ns + TRP, row=2)
+
+    def test_trc_bounds_act_to_act(self, timer):
+        timer.issue(Command.ACT, 0, 0.0, row=1)
+        timer.issue(Command.PRE, 0, T.tras_ns)
+        assert timer.earliest(Command.ACT, 0) >= T.trc_ns - 1e-9
+
+
+class TestRefreshInterlock:
+    def test_ref_needs_precharged_bank(self, timer):
+        timer.issue(Command.ACT, 0, 0.0, row=1)
+        assert timer.earliest(Command.REF, 0) == float("inf")
+        timer.issue(Command.PRE, 0, T.tras_ns)
+        timer.issue(Command.REF, 0, T.tras_ns + TRP)
+
+    def test_commands_blocked_during_trfc(self, timer):
+        timer.issue(Command.REF, 0, 0.0)
+        with pytest.raises(TimingViolation):
+            timer.issue(Command.ACT, 0, T.trfc_ns - 1.0, row=0)
+        timer.issue(Command.ACT, 0, T.trfc_ns, row=0)
+
+    def test_other_banks_unaffected_by_per_bank_ref(self, timer):
+        timer.issue(Command.REF, 0, 0.0)
+        timer.issue(Command.ACT, 1, T.trrd_ns, row=0)  # legal immediately
+
+
+class TestAccessLatency:
+    def test_row_hit_fastest(self, timer):
+        timer.issue(Command.ACT, 0, 0.0, row=7)
+        hit = timer.access_latency_ns(0, 7, 100.0)
+        miss = timer.access_latency_ns(0, 8, 100.0)
+        closed = timer.access_latency_ns(1, 7, 100.0)
+        assert hit < closed < miss
+
+    def test_refreshing_bank_adds_wait(self, timer):
+        timer.issue(Command.REF, 0, 0.0)
+        during = timer.access_latency_ns(0, 3, T.trfc_ns / 2)
+        after = timer.access_latency_ns(0, 3, T.trfc_ns + 1.0)
+        assert during == pytest.approx(after + T.trfc_ns / 2)
+
+    def test_history_records_commands(self, timer):
+        timer.issue(Command.ACT, 0, 0.0, row=1)
+        timer.issue(Command.RD, 0, T.trcd_ns)
+        assert [c.command for c in timer.history] == [Command.ACT, Command.RD]

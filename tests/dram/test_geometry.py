@@ -1,0 +1,103 @@
+"""Tests for DRAM geometry and address decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.dram.geometry import DramGeometry
+
+
+@pytest.fixture
+def geom():
+    return DramGeometry(rows_per_bank=512, rows_per_ar=128, cell_interleave=64)
+
+
+class TestDerivedSizes:
+    def test_table2_ratios(self, geom):
+        assert geom.lines_per_row == 64
+        assert geom.words_per_line == 8
+        assert geom.words_per_line_per_chip == 1
+        assert geom.chip_row_bytes == 512
+        assert geom.words_per_chip_row == 64
+        assert geom.ar_sets_per_bank == 4
+        assert geom.total_rows == 4096
+        assert geom.total_bytes == 4096 * 4096
+        assert geom.lines_per_page == 64
+
+    def test_paper_config_capacity(self):
+        geom = DramGeometry.paper_config()
+        assert geom.total_bytes == 32 << 30
+        # 32 GB / 8192 / 8 banks / 4 KB = 128 rows per AR command (paper II-C)
+        assert geom.rows_per_bank // geom.ar_sets_per_bank == 128
+
+    def test_scaled_preserves_ratios(self):
+        geom = DramGeometry.scaled(total_bytes=64 << 20)
+        assert geom.total_bytes == 64 << 20
+        assert geom.rows_per_ar == 128
+        assert geom.num_chips == 8
+        assert geom.num_banks == 8
+        assert geom.row_bytes == 4096
+
+    def test_scaled_rejects_misaligned_capacity(self):
+        with pytest.raises(ValueError, match="multiple"):
+            DramGeometry.scaled(total_bytes=(4 << 20) + 4096)
+
+
+class TestValidation:
+    def test_rejects_row_not_spreading_over_chips(self):
+        with pytest.raises(ValueError):
+            DramGeometry(row_bytes=100)
+
+    def test_rejects_rows_not_multiple_of_ar(self):
+        with pytest.raises(ValueError, match="rows_per_ar"):
+            DramGeometry(rows_per_bank=100, rows_per_ar=128)
+
+    def test_rejects_ar_not_multiple_of_chips(self):
+        with pytest.raises(ValueError, match="num_chips"):
+            DramGeometry(rows_per_bank=120, rows_per_ar=60, num_chips=8)
+
+
+class TestAddressDecomposition:
+    def test_roundtrip_all_lines(self, geom):
+        lines = np.arange(geom.total_lines)
+        bank, row, lir = geom.decompose_line(lines)
+        np.testing.assert_array_equal(geom.compose_line(bank, row, lir), lines)
+
+    def test_rows_interleave_across_banks(self, geom):
+        # consecutive logical rows land in consecutive banks
+        first_lines = np.arange(4) * geom.lines_per_row
+        bank, row, lir = geom.decompose_line(first_lines)
+        np.testing.assert_array_equal(bank, [0, 1, 2, 3])
+        np.testing.assert_array_equal(row, [0, 0, 0, 0])
+        np.testing.assert_array_equal(lir, [0, 0, 0, 0])
+
+    def test_lines_within_row_share_bank_and_row(self, geom):
+        lines = np.arange(geom.lines_per_row)
+        bank, row, lir = geom.decompose_line(lines)
+        assert (bank == 0).all() and (row == 0).all()
+        np.testing.assert_array_equal(lir, lines)
+
+    def test_rejects_out_of_range(self, geom):
+        with pytest.raises(ValueError):
+            geom.decompose_line(geom.total_lines)
+        with pytest.raises(ValueError):
+            geom.decompose_line(-1)
+        with pytest.raises(ValueError):
+            geom.compose_line(geom.num_banks, 0, 0)
+        with pytest.raises(ValueError):
+            geom.compose_line(0, geom.rows_per_bank, 0)
+        with pytest.raises(ValueError):
+            geom.compose_line(0, 0, geom.lines_per_row)
+
+    def test_decompose_byte(self, geom):
+        addr = 3 * geom.line_bytes + 17
+        bank, row, lir, off = geom.decompose_byte(addr)
+        assert (bank, row, lir, off) == (0, 0, 3, 17)
+
+    def test_ar_set_mapping(self, geom):
+        assert geom.ar_set_of_row(0) == 0
+        assert geom.ar_set_of_row(127) == 0
+        assert geom.ar_set_of_row(128) == 1
+        rows = geom.rows_of_ar_set(1)
+        assert rows[0] == 128 and rows[-1] == 255 and len(rows) == 128
+        with pytest.raises(ValueError):
+            geom.rows_of_ar_set(geom.ar_sets_per_bank)

@@ -1,0 +1,139 @@
+"""Retention/decay model and integrity tests (incl. failure injection)."""
+
+import numpy as np
+import pytest
+
+from repro.dram.device import DramDevice
+from repro.dram.geometry import DramGeometry
+from repro.dram.refresh import RefreshEngine
+from repro.dram.retention import RetentionTracker
+from repro.transform.celltype import CellTypeLayout, CellTypePredictor
+from repro.transform.codec import ValueTransformCodec
+
+
+@pytest.fixture
+def geom():
+    return DramGeometry(rows_per_bank=128, rows_per_ar=128, cell_interleave=32)
+
+
+@pytest.fixture
+def layout():
+    return CellTypeLayout(interleave=32)
+
+
+@pytest.fixture
+def device(geom, layout):
+    return DramDevice(geom, layout)
+
+
+@pytest.fixture
+def codec(geom, layout):
+    return ValueTransformCodec(
+        CellTypePredictor.from_layout(layout, geom.rows_per_bank)
+    )
+
+
+TRET = 0.032
+
+
+class TestRetentionTracker:
+    def test_rejects_nonpositive_window(self, device):
+        with pytest.raises(ValueError):
+            RetentionTracker(device, 0.0)
+
+    def test_no_overdue_right_after_refresh(self, device):
+        tracker = RetentionTracker(device, TRET)
+        for bank in device.banks:
+            bank.refresh_rows(np.arange(device.geometry.rows_per_bank), 0.0)
+        assert tracker.overdue(TRET * 0.9) == []
+        assert tracker.verify_no_loss(TRET * 0.9)
+
+    def test_overdue_after_window(self, device):
+        tracker = RetentionTracker(device, TRET)
+        assert len(tracker.overdue(TRET * 1.5)) == device.geometry.total_rows * 8
+
+    def test_discharged_rows_survive_decay(self, device, codec):
+        """Zero content decays to itself: skipping discharged rows is safe."""
+        geom = device.geometry
+        lines = np.zeros((geom.lines_per_row, 8), dtype=np.uint64)
+        for row in range(geom.rows_per_bank):
+            device.write_row(0, row, codec.encode_row(lines, row))
+        tracker = RetentionTracker(device, TRET)
+        report = tracker.decay(TRET * 2)
+        assert report.overdue_slices > 0
+        # bank 0 was populated with discharged content -> no loss there
+        assert all(e.bank != 0 for e in report.corrupted)
+
+    def test_charged_rows_corrupt_on_decay(self, device, codec):
+        rng = np.random.default_rng(0)
+        lines = rng.integers(0, 2**64, size=(device.geometry.lines_per_row, 8),
+                             dtype=np.uint64)
+        device.write_row(0, 5, codec.encode_row(lines, 5))
+        tracker = RetentionTracker(device, TRET)
+        report = tracker.decay(TRET * 2)
+        assert any(e.bank == 0 and e.row == 5 for e in report.corrupted)
+
+    def test_decay_drives_cells_to_discharged_pattern(self, device, codec):
+        rng = np.random.default_rng(1)
+        lines = rng.integers(0, 2**64, size=(device.geometry.lines_per_row, 8),
+                             dtype=np.uint64)
+        device.write_row(0, 40, codec.encode_row(lines, 40))  # anti row (32..63)
+        assert device.banks[0].is_anti_row(40)
+        tracker = RetentionTracker(device, TRET)
+        tracker.decay(TRET * 2)
+        # anti row decays to all-one stored bits
+        assert (device.banks[0].data[40] == np.uint64(0xFFFFFFFFFFFFFFFF)).all()
+
+    def test_decayed_row_reads_back_wrong(self, device, codec):
+        """Corruption is visible through the codec round trip."""
+        rng = np.random.default_rng(2)
+        lines = rng.integers(0, 2**64, size=(device.geometry.lines_per_row, 8),
+                             dtype=np.uint64)
+        device.write_row(0, 5, codec.encode_row(lines, 5))
+        tracker = RetentionTracker(device, TRET)
+        tracker.decay(TRET * 2)
+        decoded = codec.decode_row(device.read_row(0, 5), 5)
+        assert not np.array_equal(decoded, lines)
+
+
+class TestIntegrityWithEngine:
+    def _populate(self, device, codec, rng, zero_fraction=0.5):
+        geom = device.geometry
+        for bank in range(geom.num_banks):
+            for row in range(geom.rows_per_bank):
+                if rng.random() < zero_fraction:
+                    lines = np.zeros((geom.lines_per_row, 8), dtype=np.uint64)
+                else:
+                    lines = rng.integers(0, 2**64, size=(geom.lines_per_row, 8),
+                                         dtype=np.uint64)
+                device.write_row(bank, row, codec.encode_row(lines, row))
+
+    def test_zero_refresh_never_loses_data(self, device, codec):
+        """End-to-end invariant: skipping must never corrupt memory."""
+        rng = np.random.default_rng(3)
+        self._populate(device, codec, rng)
+        engine = RefreshEngine(device)
+        tracker = RetentionTracker(device, engine.timing.tret_s)
+        t = 0.0
+        for _ in range(4):
+            engine.run_window(t)
+            t += engine.timing.tret_s
+            report = tracker.decay(t)
+            assert not report.data_loss
+
+    def test_forced_skip_of_charged_rows_corrupts(self, device, codec):
+        """Failure injection: lying in the status table loses data."""
+        rng = np.random.default_rng(4)
+        self._populate(device, codec, rng, zero_fraction=0.0)
+        engine = RefreshEngine(device)
+        engine.run_window(0.0)
+        # Corrupt the tracker: claim every group is discharged.
+        for bank in range(device.geometry.num_banks):
+            engine.status_table.write_vector(
+                bank, 0, np.ones(device.geometry.rows_per_ar, dtype=bool)
+            )
+        t = engine.timing.tret_s
+        engine.run_window(t)
+        tracker = RetentionTracker(device, engine.timing.tret_s)
+        report = tracker.decay(t + engine.timing.tret_s)
+        assert report.data_loss

@@ -1,0 +1,54 @@
+"""Tests for timing parameters and temperature modes."""
+
+import pytest
+
+from repro.dram.timing import (
+    AR_COMMANDS_PER_WINDOW,
+    CurrentParams,
+    TemperatureMode,
+    TimingParams,
+)
+
+
+class TestTemperatureMode:
+    def test_retention_windows(self):
+        assert TemperatureMode.NORMAL.tret_s == 0.064
+        assert TemperatureMode.EXTENDED.tret_s == 0.032
+
+
+class TestTimingParams:
+    def test_table2_defaults(self):
+        t = TimingParams()
+        assert t.tras_ns == 28.0
+        assert t.trcd_ns == 11.0
+        assert t.trrd_ns == 5.0
+        assert t.tfaw_ns == 24.0
+        assert t.trfc_ns == 28.0
+
+    def test_trefi_is_tret_over_8k(self):
+        t = TimingParams()
+        assert AR_COMMANDS_PER_WINDOW == 8192
+        assert t.trefi_s == pytest.approx(0.032 / 8192)
+        assert t.trefi_ns == pytest.approx(3906.25)
+
+    def test_default_temperature_extended(self):
+        assert TimingParams().temperature is TemperatureMode.EXTENDED
+
+    def test_with_temperature_preserves_rest(self):
+        t = TimingParams().with_temperature(TemperatureMode.NORMAL)
+        assert t.tret_s == 0.064
+        assert t.trfc_ns == 28.0
+        assert t.currents.idd5 == 120.0
+
+    def test_per_bank_trefi(self):
+        t = TimingParams()
+        assert t.per_bank_trefi_s(8) == pytest.approx(t.trefi_s / 8)
+
+
+class TestCurrentParams:
+    def test_table2_currents(self):
+        c = CurrentParams()
+        assert (c.idd0, c.idd1, c.idd2p, c.idd2n) == (23.0, 30.0, 7.0, 12.0)
+        assert (c.idd3n, c.idd4w, c.idd4r) == (8.0, 58.0, 60.0)
+        assert (c.idd5, c.idd6, c.idd7) == (120.0, 8.0, 105.0)
+        assert c.vdd == 1.2

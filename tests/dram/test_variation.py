@@ -1,0 +1,68 @@
+"""Tests for retention variation and the VRT process."""
+
+import numpy as np
+import pytest
+
+from repro.dram.variation import RetentionProfile, VrtProcess
+
+
+class TestRetentionProfile:
+    def test_sample_shape_and_floor(self):
+        profile = RetentionProfile.sample(10_000,
+                                          rng=np.random.default_rng(0))
+        assert len(profile) == 10_000
+        assert (profile.row_retention_s >= 0.064).all()
+
+    def test_most_rows_retain_long(self):
+        """The skew RAIDR exploits: the vast majority of rows retain
+        far beyond 64 ms; only a small fraction is anywhere close."""
+        profile = RetentionProfile.sample(20_000,
+                                          rng=np.random.default_rng(1))
+        assert profile.weak_fraction < 0.05
+        assert float(np.median(profile.row_retention_s)) > 0.5
+
+    def test_rows_below(self):
+        profile = RetentionProfile(np.array([0.07, 0.2, 1.0]))
+        np.testing.assert_array_equal(profile.rows_below(0.128), [0])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            RetentionProfile(np.array([0.0, 1.0]))
+
+
+class TestVrtProcess:
+    def test_no_flips_at_zero_rate(self):
+        profile = RetentionProfile.sample(1000, rng=np.random.default_rng(2))
+        vrt = VrtProcess(profile, flips_per_row_per_hour=0.0,
+                         rng=np.random.default_rng(3))
+        flipped = vrt.advance(3600.0)
+        assert len(flipped) == 0
+        np.testing.assert_array_equal(vrt.retention_s,
+                                      profile.row_retention_s)
+
+    def test_flip_rate_matches_expectation(self):
+        profile = RetentionProfile.sample(50_000,
+                                          rng=np.random.default_rng(4))
+        vrt = VrtProcess(profile, flips_per_row_per_hour=0.5,
+                         rng=np.random.default_rng(5))
+        flipped = vrt.advance(3600.0)
+        expected = 50_000 * (1 - np.exp(-0.5))
+        assert len(flipped) == pytest.approx(expected, rel=0.1)
+        assert vrt.total_flips == len(flipped)
+
+    def test_flips_can_create_unsafe_rows(self):
+        """The paper's point: a static profile goes stale under VRT."""
+        profile = RetentionProfile.sample(50_000,
+                                          rng=np.random.default_rng(6))
+        vrt = VrtProcess(profile, flips_per_row_per_hour=1.0,
+                         rng=np.random.default_rng(7))
+        assigned = np.full(50_000, 0.256)  # everyone binned at 256 ms
+        before = len(vrt.unsafe_rows(assigned))
+        vrt.advance(3600.0)
+        after = len(vrt.unsafe_rows(assigned))
+        assert after > before
+
+    def test_rejects_negative_rate(self):
+        profile = RetentionProfile.sample(10, rng=np.random.default_rng(8))
+        with pytest.raises(ValueError):
+            VrtProcess(profile, flips_per_row_per_hour=-1.0)

@@ -1,0 +1,76 @@
+"""Tests for the DDR4 power model (Fig. 4 shape)."""
+
+import pytest
+
+from repro.dram.timing import TemperatureMode
+from repro.energy.dram_power import TRFC_BY_DENSITY_GBIT, DramPowerModel
+
+
+@pytest.fixture
+def model():
+    return DramPowerModel()
+
+
+class TestTrfc:
+    def test_known_densities(self, model):
+        assert model.trfc_ns(4) == 260.0
+        assert model.trfc_ns(16) == 550.0
+
+    def test_interpolation(self, model):
+        assert 260.0 < model.trfc_ns(6) < 350.0
+
+    def test_out_of_range_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.trfc_ns(128)
+
+    def test_trefi_halves_at_extended(self, model):
+        assert model.trefi_ns(TemperatureMode.EXTENDED) == pytest.approx(
+            model.trefi_ns(TemperatureMode.NORMAL) / 2
+        )
+
+
+class TestDevicePower:
+    def test_refresh_share_grows_with_density(self, model):
+        shares = [
+            model.device_power(d, TemperatureMode.EXTENDED).refresh_share
+            for d in (1, 2, 4, 8, 16)
+        ]
+        assert shares == sorted(shares)
+
+    def test_extended_temperature_increases_share(self, model):
+        for density in (4, 8, 16):
+            normal = model.device_power(density, TemperatureMode.NORMAL)
+            extended = model.device_power(density, TemperatureMode.EXTENDED)
+            assert extended.refresh_share > normal.refresh_share
+
+    def test_paper_headline_16gb_over_half(self, model):
+        """Fig. 4: at 32 ms retention a 16 Gb device spends >50% on refresh."""
+        breakdown = model.device_power(16, TemperatureMode.EXTENDED)
+        assert breakdown.refresh_share > 0.5
+
+    def test_refresh_scale_shrinks_refresh_only(self, model):
+        full = model.device_power(8, TemperatureMode.EXTENDED)
+        half = model.device_power(8, TemperatureMode.EXTENDED,
+                                  refresh_scale=0.5)
+        assert half.refresh_mw == pytest.approx(full.refresh_mw / 2)
+        assert half.background_mw == full.background_mw
+
+    def test_total_is_sum_of_parts(self, model):
+        b = model.device_power(8)
+        assert b.total_mw == pytest.approx(
+            b.background_mw + b.activate_mw + b.read_mw + b.write_mw
+            + b.refresh_mw
+        )
+
+
+class TestRowRefreshEnergy:
+    def test_per_row_energy_positive_and_scales(self, model):
+        e128 = model.refresh_energy_per_row_nj(28.0, rows_per_ar=128)
+        e64 = model.refresh_energy_per_row_nj(28.0, rows_per_ar=64)
+        assert e128 > 0
+        assert e64 == pytest.approx(2 * e128)
+
+    def test_table2_magnitude(self, model):
+        """(IDD5-IDD3N)*VDD*tRFC*8chips/128rows = ~0.235 nJ per row."""
+        e = model.refresh_energy_per_row_nj(28.0, 128, 8)
+        assert e == pytest.approx((120 - 8) * 1.2 * 28 * 1e-3 * 8 / 128)

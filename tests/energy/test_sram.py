@@ -1,0 +1,41 @@
+"""Tests for the CACTI-anchored SRAM model."""
+
+import pytest
+
+from repro.energy.sram import SramModel
+
+
+@pytest.fixture
+def model():
+    return SramModel()
+
+
+class TestSramModel:
+    def test_anchor_points_exact(self, model):
+        assert model.leakage_mw(8 << 10) == pytest.approx(2.71)
+        assert model.leakage_mw(1 << 20) == pytest.approx(337.14)
+        assert model.area_mm2(8 << 10) == pytest.approx(0.076)
+
+    def test_monotone_in_capacity(self, model):
+        sizes = [1 << 10, 8 << 10, 64 << 10, 1 << 20]
+        leaks = [model.leakage_mw(s) for s in sizes]
+        assert leaks == sorted(leaks)
+
+    def test_interpolation_between_anchors(self, model):
+        mid = model.leakage_mw(128 << 10)
+        assert 2.71 < mid < 337.14
+
+    def test_zero_capacity(self, model):
+        assert model.leakage_mw(0) == 0.0
+        assert model.area_mm2(0) == 0.0
+
+    def test_estimate_bundle(self, model):
+        est = model.estimate(8 << 10)
+        assert est.capacity_bytes == 8 << 10
+        assert est.leakage_mw == pytest.approx(2.71)
+        assert est.area_mm2 == pytest.approx(0.076)
+
+    def test_naive_vs_optimised_ratio(self, model):
+        """The paper's 337.14 vs 2.71 mW comparison: >100x saving."""
+        ratio = model.leakage_mw(1 << 20) / model.leakage_mw(8 << 10)
+        assert ratio > 100

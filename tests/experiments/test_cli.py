@@ -1,0 +1,25 @@
+"""Tests for the python -m repro.experiments command line."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_runs_lightweight_experiment(self, capsys):
+        assert main(["sram", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "[sram]" in out
+        assert "337.14" in out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["nonesuch"])
+
+    def test_scale_flags(self, capsys):
+        assert main(["fig04", "--memory-mb", "8", "--windows", "1"]) == 0
+        assert "refresh share" in capsys.readouterr().out
+
+    def test_tab01(self, capsys):
+        assert main(["tab01", "--quick", "--seed", "3"]) == 0
+        assert "bitbrains" in capsys.readouterr().out

@@ -1,0 +1,42 @@
+"""Tests for the allocation scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.osmodel.scenarios import (
+    PAPER_SCENARIOS,
+    AllocationScenario,
+    scenario_by_name,
+)
+
+
+class TestAllocationScenario:
+    def test_paper_scenarios_match_table1(self):
+        assert PAPER_SCENARIOS["100%"].allocated_fraction == 1.0
+        assert PAPER_SCENARIOS["88%"].allocated_fraction == 0.88
+        assert PAPER_SCENARIOS["70%"].allocated_fraction == 0.70
+        assert PAPER_SCENARIOS["28%"].allocated_fraction == 0.28
+
+    def test_idle_fraction(self):
+        assert PAPER_SCENARIOS["70%"].idle_fraction == pytest.approx(0.30)
+
+    def test_allocated_page_count(self):
+        assert PAPER_SCENARIOS["28%"].allocated_page_count(1000) == 280
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            AllocationScenario("bad", 1.2)
+
+    def test_from_utilization_trace(self):
+        samples = np.array([0.5, 0.7, 0.9])
+        scenario = AllocationScenario.from_utilization_trace("t", samples)
+        assert scenario.allocated_fraction == pytest.approx(0.7)
+
+    def test_from_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            AllocationScenario.from_utilization_trace("t", np.array([]))
+
+    def test_lookup(self):
+        assert scenario_by_name("88%").source.startswith("Alibaba")
+        with pytest.raises(ValueError, match="unknown scenario"):
+            scenario_by_name("55%")

@@ -1,0 +1,95 @@
+"""Tests for the BDI reference compressor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transform.bdi import LINE_BYTES, BdiCompressor
+from repro.workloads.synthetic import generate_lines
+
+
+@pytest.fixture
+def bdi():
+    return BdiCompressor()
+
+
+class TestSchemes:
+    def test_zero_line(self, bdi):
+        result = bdi.compress(np.zeros(8, dtype=np.uint64))
+        assert result.scheme == "zeros"
+        assert result.compressed_bytes == 1
+        assert result.ratio == 64.0
+
+    def test_repeated_line(self, bdi):
+        line = np.full(8, 0xDEADBEEF, dtype=np.uint64)
+        result = bdi.compress(line)
+        assert result.scheme == "repeated"
+        assert result.compressed_bytes == 8
+
+    def test_base8_delta1(self, bdi):
+        base = np.uint64(1 << 40)
+        line = base + np.arange(8, dtype=np.uint64)
+        result = bdi.compress(line)
+        assert result.scheme == "base8-delta1"
+        assert result.compressed_bytes == 8 + 8 + 1
+
+    def test_base8_negative_deltas(self, bdi):
+        base = np.uint64(1000)
+        line = base - np.arange(8, dtype=np.uint64)
+        result = bdi.compress(line)
+        assert result.scheme == "base8-delta1"
+
+    def test_immediates_mix_with_wide_base(self, bdi):
+        """Small immediates coexist with one wide base (dual-base)."""
+        line = np.array([5, 1 << 50, (1 << 50) + 3, 7,
+                         2, (1 << 50) + 9, 0, 1], dtype=np.uint64)
+        result = bdi.compress(line)
+        assert result.scheme.startswith("base8")
+
+    def test_base4(self, bdi):
+        words32 = (np.uint64(0x12345600) + np.arange(16, dtype=np.uint64))
+        line = np.ascontiguousarray(words32.astype("<u4")).view("<u8")
+        result = bdi.compress(line)
+        assert result.scheme in ("base4-delta1", "base4-delta2")
+        assert result.compressed_bytes < 32
+
+    def test_random_line_uncompressed(self, bdi):
+        rng = np.random.default_rng(0)
+        line = rng.integers(0, 2**64, size=8, dtype=np.uint64)
+        result = bdi.compress(line)
+        assert result.scheme == "uncompressed"
+        assert result.ratio == 1.0
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("cls", ["zero", "uniform32", "smallint8",
+                                     "smallint16", "pointer", "int32",
+                                     "medium", "float64", "random",
+                                     "padded", "text"])
+    def test_roundtrip_content_classes(self, bdi, cls):
+        rng = np.random.default_rng(1)
+        lines = generate_lines(cls, 64, rng)
+        for line in lines:
+            result = bdi.compress(line)
+            np.testing.assert_array_equal(bdi.decompress(result), line)
+
+    @settings(max_examples=100)
+    @given(st.lists(st.integers(min_value=0, max_value=2**64 - 1),
+                    min_size=8, max_size=8))
+    def test_roundtrip_property(self, words):
+        bdi = BdiCompressor()
+        line = np.array(words, dtype=np.uint64)
+        result = bdi.compress(line)
+        np.testing.assert_array_equal(bdi.decompress(result), line)
+        assert 1 <= result.compressed_bytes <= LINE_BYTES
+
+
+class TestAggregate:
+    def test_ratio_orders_by_regularity(self, bdi):
+        rng = np.random.default_rng(2)
+        uniform = bdi.compression_ratio(generate_lines("uniform32", 64, rng))
+        pointer = bdi.compression_ratio(generate_lines("pointer", 64, rng))
+        random_ = bdi.compression_ratio(generate_lines("random", 64, rng))
+        assert uniform > pointer > random_
+        assert random_ == pytest.approx(1.0, abs=0.05)

@@ -1,0 +1,97 @@
+"""Tests for the BPC reference model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transform.bpc import BpcCompressor
+from repro.workloads.synthetic import generate_lines
+
+
+@pytest.fixture
+def bpc():
+    return BpcCompressor()
+
+
+class TestDeltaTransform:
+    def test_roundtrip(self, bpc):
+        rng = np.random.default_rng(0)
+        line = rng.integers(0, 2**64, size=8, dtype=np.uint64)
+        np.testing.assert_array_equal(
+            bpc.inverse_delta(bpc.delta_transform(line)), line
+        )
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=0, max_value=2**64 - 1),
+                    min_size=8, max_size=8))
+    def test_roundtrip_property(self, words):
+        bpc = BpcCompressor()
+        line = np.array(words, dtype=np.uint64)
+        np.testing.assert_array_equal(
+            bpc.inverse_delta(bpc.delta_transform(line)), line
+        )
+
+    def test_arithmetic_sequence_collapses(self, bpc):
+        line = np.arange(100, 108, dtype=np.uint64)
+        deltas = bpc.delta_transform(line)
+        assert (deltas[1:] == 1).all()
+
+
+class TestBitPlanes:
+    def test_plane_extraction(self, bpc):
+        deltas = np.zeros(8, dtype=np.uint64)
+        deltas[3] = np.uint64(1) << np.uint64(17)
+        planes = bpc.bit_planes(deltas)
+        assert planes.shape == (64, 7)
+        assert planes[17, 2] == 1  # delta word index 3 -> tail index 2
+        assert planes.sum() == 1
+
+
+class TestCompression:
+    def test_zero_line_tiny(self, bpc):
+        result = bpc.compress(np.zeros(8, dtype=np.uint64))
+        assert result.zero_planes == 64
+        assert result.compressed_bits == 64 + 7  # base word + one run
+
+    def test_arithmetic_sequence_compresses_well(self, bpc):
+        line = (np.uint64(1 << 50) + 8 * np.arange(8, dtype=np.uint64))
+        result = bpc.compress(line)
+        assert result.ratio > 4
+
+    def test_random_line_does_not_compress(self, bpc):
+        rng = np.random.default_rng(1)
+        line = rng.integers(0, 2**64, size=8, dtype=np.uint64)
+        result = bpc.compress(line)
+        assert result.ratio < 1.2
+
+    def test_ratio_ordering_by_content_class(self, bpc):
+        rng = np.random.default_rng(2)
+        smallint = bpc.compression_ratio(generate_lines("smallint8", 32, rng))
+        medium = bpc.compression_ratio(generate_lines("medium", 32, rng))
+        random_ = bpc.compression_ratio(generate_lines("random", 32, rng))
+        assert smallint > medium > random_
+
+    def test_size_bounded(self, bpc):
+        rng = np.random.default_rng(3)
+        # worst case: base word + 64 raw DBX planes (2+7 bits each)
+        worst = 64 + 64 * 9
+        for cls in ("zero", "float64", "random", "text"):
+            for line in generate_lines(cls, 16, rng):
+                result = bpc.compress(line)
+                assert 64 < result.compressed_bits <= worst
+
+    def test_dbx_roundtrip(self, bpc):
+        rng = np.random.default_rng(4)
+        deltas = rng.integers(0, 2**64, size=8, dtype=np.uint64)
+        planes = bpc.bit_planes(deltas)
+        np.testing.assert_array_equal(
+            bpc.inverse_dbx(bpc.dbx_transform(planes)), planes
+        )
+
+    def test_dbx_collapses_sign_extension(self, bpc):
+        """Small signed deltas (mixed signs) produce long zero DBX runs."""
+        line = np.uint64(1 << 40) + np.array(
+            [0, 3, 1, 5, 2, 7, 4, 6], dtype=np.uint64)
+        result = bpc.compress(line)
+        assert result.zero_planes > 50

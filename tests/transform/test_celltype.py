@@ -1,0 +1,95 @@
+"""Tests for true/anti cell layout and identification."""
+
+import numpy as np
+import pytest
+
+from repro.transform.celltype import (
+    CellType,
+    CellTypeLayout,
+    CellTypePredictor,
+    identify_cell_types,
+)
+
+
+class TestCellType:
+    def test_discharged_bit(self):
+        assert CellType.TRUE.discharged_bit == 0
+        assert CellType.ANTI.discharged_bit == 1
+
+    def test_flipped(self):
+        assert CellType.TRUE.flipped() is CellType.ANTI
+        assert CellType.ANTI.flipped() is CellType.TRUE
+
+
+class TestCellTypeLayout:
+    def test_default_interleave_is_512(self):
+        layout = CellTypeLayout()
+        assert layout.interleave == 512
+        assert layout.cell_type(0) is CellType.TRUE
+        assert layout.cell_type(511) is CellType.TRUE
+        assert layout.cell_type(512) is CellType.ANTI
+        assert layout.cell_type(1024) is CellType.TRUE
+
+    def test_phase_flips_blocks(self):
+        layout = CellTypeLayout(interleave=4, phase=1)
+        assert layout.cell_type(0) is CellType.ANTI
+        assert layout.cell_type(4) is CellType.TRUE
+
+    def test_vectorised_matches_scalar(self):
+        layout = CellTypeLayout(interleave=8)
+        rows = np.arange(64)
+        vec = layout.cell_types(rows)
+        for row in rows:
+            assert CellType(int(vec[row])) is layout.cell_type(int(row))
+
+    def test_equality(self):
+        assert CellTypeLayout(8, 0) == CellTypeLayout(8, 0)
+        assert CellTypeLayout(8, 0) != CellTypeLayout(8, 1)
+        assert CellTypeLayout(8, 0) != CellTypeLayout(16, 0)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            CellTypeLayout(interleave=0)
+        with pytest.raises(ValueError):
+            CellTypeLayout(phase=2)
+
+
+class TestIdentification:
+    def test_perfect_identification(self):
+        layout = CellTypeLayout(interleave=16)
+        pred = identify_cell_types(layout, 256)
+        np.testing.assert_array_equal(pred, layout.cell_types(np.arange(256)))
+
+    def test_error_rate_injects_flips(self):
+        layout = CellTypeLayout(interleave=16)
+        rng = np.random.default_rng(9)
+        pred = identify_cell_types(layout, 10_000, error_rate=0.1, rng=rng)
+        truth = layout.cell_types(np.arange(10_000))
+        error = float(np.mean(pred != truth))
+        assert 0.05 < error < 0.15
+
+    def test_rejects_bad_error_rate(self):
+        with pytest.raises(ValueError):
+            identify_cell_types(CellTypeLayout(), 8, error_rate=1.5)
+
+
+class TestCellTypePredictor:
+    def test_from_layout_perfect(self):
+        layout = CellTypeLayout(interleave=4)
+        predictor = CellTypePredictor.from_layout(layout, 64)
+        assert predictor.accuracy(layout) == 1.0
+        assert predictor.predict(0) is CellType.TRUE
+        assert predictor.predict(4) is CellType.ANTI
+        assert len(predictor) == 64
+
+    def test_noisy_predictor_accuracy(self):
+        layout = CellTypeLayout(interleave=4)
+        rng = np.random.default_rng(2)
+        predictor = CellTypePredictor.from_layout(layout, 5000, error_rate=0.2, rng=rng)
+        assert 0.7 < predictor.accuracy(layout) < 0.9
+
+    def test_rejects_bad_predictions(self):
+        with pytest.raises(ValueError):
+            CellTypePredictor(np.array([0, 1, 2]))
+        with pytest.raises(ValueError):
+            CellTypePredictor(np.zeros((2, 2)))

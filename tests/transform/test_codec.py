@@ -1,0 +1,120 @@
+"""Tests for the composed value-transformation codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transform.celltype import CellTypeLayout, CellTypePredictor
+from repro.transform.codec import StageSelection, ValueTransformCodec
+
+
+def make_codec(stages=StageSelection.full(), interleave=16, num_rows=256,
+               error_rate=0.0, seed=0):
+    layout = CellTypeLayout(interleave=interleave)
+    rng = np.random.default_rng(seed)
+    predictor = CellTypePredictor.from_layout(layout, num_rows, error_rate, rng)
+    return ValueTransformCodec(predictor, stages=stages), layout
+
+
+class TestStageSelection:
+    def test_full_enables_everything(self):
+        s = StageSelection.full()
+        assert s.ebdi and s.bitplane and s.rotation and s.celltype_aware
+
+    def test_none_disables_everything(self):
+        s = StageSelection.none()
+        assert not (s.ebdi or s.bitplane or s.rotation or s.celltype_aware)
+
+
+class TestValueTransformCodec:
+    @pytest.mark.parametrize("row", [0, 1, 15, 16, 17, 255])
+    def test_roundtrip_random_lines(self, row):
+        codec, _ = make_codec()
+        rng = np.random.default_rng(row)
+        lines = rng.integers(0, 2**64, size=(64, 8), dtype=np.uint64)
+        chips = codec.encode_row(lines, row)
+        np.testing.assert_array_equal(codec.decode_row(chips, row), lines)
+
+    def test_zero_lines_store_discharged_true_row(self):
+        """A zero page on a true-cell row stores as all-zero bits."""
+        codec, layout = make_codec()
+        row = 0
+        assert layout.cell_type(row).value == 0
+        lines = np.zeros((64, 8), dtype=np.uint64)
+        chips = codec.encode_row(lines, row)
+        assert not chips.any()
+
+    def test_zero_lines_store_discharged_anti_row(self):
+        """A zero page on an anti-cell row stores as all-one bits."""
+        codec, layout = make_codec()
+        row = 16  # first anti block with interleave=16
+        assert layout.cell_type(row).value == 1
+        lines = np.zeros((64, 8), dtype=np.uint64)
+        chips = codec.encode_row(lines, row)
+        assert (chips == np.uint64(0xFFFFFFFFFFFFFFFF)).all()
+
+    def test_without_celltype_awareness_anti_rows_charge(self):
+        codec, _ = make_codec(stages=StageSelection(celltype_aware=False))
+        lines = np.zeros((64, 8), dtype=np.uint64)
+        chips = codec.encode_row(lines, 16)  # anti row
+        assert not chips.any()  # stored zeros == charged anti cells
+
+    def test_narrow_value_lines_leave_most_chips_discharged(self):
+        """Value-local lines put all non-zero data on 2 of 8 chips."""
+        codec, _ = make_codec()
+        rng = np.random.default_rng(4)
+        base = rng.integers(0, 2**62, size=(64, 1), dtype=np.uint64)
+        lines = base + rng.integers(0, 256, size=(64, 8), dtype=np.uint64)
+        row = 0  # true-cell row
+        chips = codec.encode_row(lines, row)
+        discharged_chips = [int(c) for c in range(8) if not chips[c].any()]
+        assert len(discharged_chips) == 6
+
+    def test_roundtrip_under_misprediction(self):
+        """A wrong cell-type table must never corrupt data."""
+        codec, layout = make_codec(error_rate=0.5, seed=3)
+        assert codec.predictor.accuracy(layout) < 1.0
+        rng = np.random.default_rng(8)
+        lines = rng.integers(0, 2**64, size=(32, 8), dtype=np.uint64)
+        for row in range(0, 256, 17):
+            chips = codec.encode_row(lines, row)
+            np.testing.assert_array_equal(codec.decode_row(chips, row), lines)
+
+    @pytest.mark.parametrize(
+        "stages",
+        [
+            StageSelection.none(),
+            StageSelection(ebdi=True, bitplane=False, rotation=False, celltype_aware=False),
+            StageSelection(ebdi=True, bitplane=True, rotation=False, celltype_aware=False),
+            StageSelection(ebdi=True, bitplane=True, rotation=True, celltype_aware=False),
+            StageSelection.full(),
+        ],
+    )
+    def test_roundtrip_all_stage_subsets(self, stages):
+        codec, _ = make_codec(stages=stages)
+        rng = np.random.default_rng(5)
+        lines = rng.integers(0, 2**64, size=(16, 8), dtype=np.uint64)
+        for row in (0, 3, 16, 21):
+            chips = codec.encode_row(lines, row)
+            np.testing.assert_array_equal(codec.decode_row(chips, row), lines)
+
+    def test_transform_untransform_roundtrip(self):
+        codec, _ = make_codec()
+        rng = np.random.default_rng(6)
+        lines = rng.integers(0, 2**64, size=(16, 8), dtype=np.uint64)
+        for row in (0, 16):
+            enc = codec.transform_lines(lines, row)
+            np.testing.assert_array_equal(codec.untransform_lines(enc, row), lines)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        row=st.integers(min_value=0, max_value=255),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_roundtrip_property(self, row, seed):
+        codec, _ = make_codec()
+        rng = np.random.default_rng(seed)
+        lines = rng.integers(0, 2**64, size=(4, 8), dtype=np.uint64)
+        chips = codec.encode_row(lines, row)
+        np.testing.assert_array_equal(codec.decode_row(chips, row), lines)

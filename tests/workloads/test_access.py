@@ -1,0 +1,83 @@
+"""Tests for the working-set access-trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.access import AccessTrace, WorkingSetTraceGenerator
+
+
+@pytest.fixture
+def generator():
+    return WorkingSetTraceGenerator(
+        working_set_pages=np.arange(100, 200),
+        accesses_per_window=5000,
+        write_fraction=0.25,
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestAccessTrace:
+    def test_reads_writes_partition(self):
+        trace = AccessTrace(
+            line_addrs=np.array([1, 2, 3, 4]),
+            is_write=np.array([True, False, True, False]),
+        )
+        np.testing.assert_array_equal(trace.writes, [1, 3])
+        np.testing.assert_array_equal(trace.reads, [2, 4])
+        assert len(trace) == 4
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            AccessTrace(np.arange(3), np.array([True]))
+
+
+class TestWorkingSetTraceGenerator:
+    def test_addresses_stay_in_working_set(self, generator):
+        trace = generator.window_trace()
+        pages = trace.line_addrs // 64
+        assert set(np.unique(pages)) <= set(range(100, 200))
+
+    def test_write_fraction_respected(self, generator):
+        trace = generator.window_trace()
+        assert trace.is_write.mean() == pytest.approx(0.25, abs=0.03)
+
+    def test_zipf_concentrates_on_head_pages(self):
+        generator = WorkingSetTraceGenerator(
+            working_set_pages=np.arange(1000),
+            accesses_per_window=20_000,
+            zipf_s=1.2,
+            rng=np.random.default_rng(1),
+        )
+        trace = generator.window_trace()
+        pages = trace.line_addrs // 64
+        head_share = (pages < 100).mean()
+        assert head_share > 0.5
+
+    def test_uniform_when_zipf_zero(self):
+        generator = WorkingSetTraceGenerator(
+            working_set_pages=np.arange(100),
+            accesses_per_window=50_000,
+            zipf_s=0.0,
+            rng=np.random.default_rng(2),
+        )
+        trace = generator.window_trace()
+        pages = trace.line_addrs // 64
+        counts = np.bincount(pages, minlength=100)
+        assert counts.min() > counts.max() * 0.6
+
+    def test_touched_pages(self, generator):
+        trace = generator.window_trace(100)
+        touched = generator.touched_pages(trace)
+        assert len(touched) <= 100
+        assert (np.diff(touched) > 0).all()
+
+    def test_custom_access_count(self, generator):
+        assert len(generator.window_trace(17)) == 17
+
+    def test_rejects_empty_working_set(self):
+        with pytest.raises(ValueError):
+            WorkingSetTraceGenerator(working_set_pages=np.array([]))
+
+    def test_rejects_bad_write_fraction(self):
+        with pytest.raises(ValueError):
+            WorkingSetTraceGenerator(np.arange(10), write_fraction=1.5)

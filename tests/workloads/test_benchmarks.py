@@ -1,0 +1,122 @@
+"""Tests for benchmark profiles and their calibration anchors."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.benchmarks import (
+    BENCHMARK_NAMES,
+    PROFILES,
+    BenchmarkProfile,
+    benchmark_profile,
+    suite_average_reduction,
+)
+from repro.workloads.synthetic import zero_block_fraction, zero_byte_fraction
+
+
+class TestSuiteComposition:
+    def test_suite_counts_match_paper(self):
+        """17 SPEC CPU2006 + 2 NPB + 4 TPC-H benchmarks (Sec. VI-A)."""
+        suites = {}
+        for profile in PROFILES.values():
+            suites[profile.suite] = suites.get(profile.suite, 0) + 1
+        assert suites == {"SPEC CPU2006": 17, "NPB": 2, "TPC-H": 4}
+
+    def test_lookup(self):
+        assert benchmark_profile("mcf").name == "mcf"
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            benchmark_profile("nonesuch")
+
+    def test_mixtures_sum_to_one(self):
+        for profile in PROFILES.values():
+            assert sum(profile.mixture.values()) == pytest.approx(1.0)
+
+    def test_invalid_mixture_rejected(self):
+        with pytest.raises(ValueError, match="sum"):
+            BenchmarkProfile("x", "s", {"zero": 0.5}, mpki=1.0)
+        with pytest.raises(ValueError, match="unknown"):
+            BenchmarkProfile("x", "s", {"bogus": 1.0}, mpki=1.0)
+
+
+class TestCalibrationAnchors:
+    def test_suite_average_near_paper(self):
+        """Paper Fig. 14: 37.1% average reduction at 100% allocation."""
+        assert 0.30 <= suite_average_reduction() <= 0.42
+
+    def test_top_and_bottom_benchmarks(self):
+        """Paper: gems/sphinx high; omnetpp, perl, sp.C low."""
+        ordered = sorted(PROFILES, key=lambda n: -PROFILES[n].expected_reduction())
+        assert "gemsFDTD" in ordered[:4]
+        assert "sphinx3" in ordered[:4]
+        assert set(ordered[-4:]) >= {"omnetpp", "perlbench", "sp.C"}
+
+    def test_row_size_sensitivity_direction(self):
+        """Fig. 18: smaller rows -> more reduction, monotonically."""
+        for profile in PROFILES.values():
+            r2 = profile.expected_reduction(2048)
+            r4 = profile.expected_reduction(4096)
+            r8 = profile.expected_reduction(8192)
+            assert r2 >= r4 >= r8
+
+    def test_zero_fraction_anchors(self):
+        """Fig. 6: ~43% zero bytes, ~2.3% zero 1KB blocks on average."""
+        rng = np.random.default_rng(11)
+        zbs, zks = [], []
+        for profile in PROFILES.values():
+            pages = profile.generate_pages(512, rng)
+            lines = pages.reshape(-1, 8)
+            zbs.append(zero_byte_fraction(lines))
+            zks.append(zero_block_fraction(lines))
+        assert 0.33 <= float(np.mean(zbs)) <= 0.52
+        assert 0.005 <= float(np.mean(zks)) <= 0.06
+
+
+class TestGeneration:
+    def test_pages_shape(self):
+        rng = np.random.default_rng(0)
+        pages = benchmark_profile("gcc").generate_pages(130, rng)
+        assert pages.shape == (130, 64, 8)
+        assert pages.dtype == np.uint64
+
+    def test_segment_classes_cover_exactly(self):
+        rng = np.random.default_rng(1)
+        profile = benchmark_profile("milc")
+        segments = profile.segment_classes(1000, rng)
+        assert sum(count for _, count in segments) == 1000
+
+    def test_segment_proportions_match_mixture(self):
+        rng = np.random.default_rng(2)
+        profile = benchmark_profile("mcf")
+        segments = profile.segment_classes(128 * 64, rng)
+        totals = {}
+        for name, count in segments:
+            totals[name] = totals.get(name, 0) + count
+        for name, weight in profile.mixture.items():
+            assert totals.get(name, 0) / (128 * 64) == pytest.approx(
+                weight, abs=0.02
+            )
+
+    def test_contamination_inserts_outliers(self):
+        rng = np.random.default_rng(3)
+        base = benchmark_profile("libquantum")
+        clean = BenchmarkProfile(
+            base.name, base.suite, base.mixture, base.mpki,
+            contamination=((1.0, 0.0),),
+        )
+        dirty = BenchmarkProfile(
+            base.name, base.suite, base.mixture, base.mpki,
+            contamination=((1.0, 0.05),),
+        )
+        assert dirty.expected_reduction() < clean.expected_reduction()
+        # generation actually reflects it: count full-width lines in a
+        # uniform32 region (any outlier word is > 2**32)
+        pages_clean = clean.generate_pages(256, np.random.default_rng(4))
+        pages_dirty = dirty.generate_pages(256, np.random.default_rng(4))
+        big = np.uint64(1) << np.uint64(33)
+        assert (pages_dirty >= big).sum() > (pages_clean >= big).sum()
+
+    def test_expected_reduction_zero_class_uncontaminated(self):
+        profile = BenchmarkProfile(
+            "z", "s", {"zero": 1.0}, mpki=1.0,
+            contamination=((1.0, 0.01),),
+        )
+        assert profile.expected_reduction() == pytest.approx(1.0)

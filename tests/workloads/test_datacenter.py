@@ -1,0 +1,74 @@
+"""Tests for the data-center utilisation traces (Table I / Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.datacenter import (
+    alibaba_trace,
+    bitbrains_trace,
+    google_trace,
+    paper_traces,
+)
+
+
+class TestTraceMeans:
+    """Table I anchors: 70% / 88% / 28% average allocated memory."""
+
+    def test_google_mean(self):
+        assert google_trace().mean == pytest.approx(0.70, abs=0.03)
+
+    def test_alibaba_mean(self):
+        assert alibaba_trace().mean == pytest.approx(0.88, abs=0.03)
+
+    def test_bitbrains_mean(self):
+        assert bitbrains_trace().mean == pytest.approx(0.28, abs=0.03)
+
+    def test_samples_bounded(self):
+        for trace in paper_traces().values():
+            assert (trace.samples >= 0).all()
+            assert (trace.samples <= 1).all()
+
+
+class TestCdfShapes:
+    """Fig. 5 shapes: alibaba tight and high, google mid, bitbrains wide/low."""
+
+    def test_alibaba_concentrated_high(self):
+        trace = alibaba_trace()
+        assert trace.percentile(10) > 0.8
+        assert trace.percentile(90) < 0.95
+
+    def test_google_mid_range(self):
+        trace = google_trace()
+        assert 0.5 < trace.percentile(10) < 0.7
+        assert 0.7 < trace.percentile(90) < 0.9
+
+    def test_bitbrains_low_and_wide(self):
+        trace = bitbrains_trace()
+        assert trace.percentile(10) < 0.2
+        assert trace.percentile(90) < 0.6
+        spread = trace.percentile(90) - trace.percentile(10)
+        assert spread > 0.2
+
+    def test_cdf_is_monotone(self):
+        for trace in paper_traces().values():
+            grid, cdf = trace.cdf()
+            assert (np.diff(cdf) >= 0).all()
+            assert cdf[-1] == pytest.approx(1.0)
+
+
+class TestBitbrainsFilter:
+    def test_cpu_filter_removes_samples(self):
+        full = bitbrains_trace(cpu_filter=0.0)
+        filtered = bitbrains_trace(cpu_filter=0.30)
+        assert len(filtered.samples) < len(full.samples)
+
+    def test_filter_raises_mean(self):
+        """Busy VMs hold more memory, so filtering is conservative."""
+        full = bitbrains_trace(cpu_filter=0.0)
+        filtered = bitbrains_trace(cpu_filter=0.30)
+        assert filtered.mean > full.mean
+
+    def test_reproducible_by_seed(self):
+        a = bitbrains_trace(seed=1)
+        b = bitbrains_trace(seed=1)
+        np.testing.assert_array_equal(a.samples, b.samples)

@@ -1,0 +1,101 @@
+"""Tests for the binary-dump content loader."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.zero_refresh import ZeroRefreshSystem
+from repro.workloads.dumps import (
+    PAGE_BYTES,
+    analyze_dump,
+    analyze_pages,
+    bytes_to_pages,
+    load_dump,
+)
+
+
+class TestBytesToPages:
+    def test_exact_pages(self):
+        blob = bytes(range(256)) * (PAGE_BYTES // 256) * 2
+        pages = bytes_to_pages(blob)
+        assert pages.shape == (2, 64, 8)
+        assert pages.dtype == np.uint64
+
+    def test_content_preserved(self):
+        blob = b"\x01" + b"\x00" * (PAGE_BYTES - 1)
+        pages = bytes_to_pages(blob)
+        assert pages[0, 0, 0] == 1
+        assert not pages[0, 1:].any()
+
+    def test_padding(self):
+        pages = bytes_to_pages(b"\xff" * 100)
+        assert pages.shape == (1, 64, 8)
+        raw = pages.view(np.uint8)
+        assert raw.ravel()[:100].sum() == 100 * 255
+        assert raw.ravel()[100:].sum() == 0
+
+    def test_truncation(self):
+        pages = bytes_to_pages(b"\xff" * (PAGE_BYTES + 100), pad=False)
+        assert pages.shape == (1, 64, 8)
+
+    def test_n_pages_cut(self):
+        blob = b"\x00" * (3 * PAGE_BYTES)
+        assert bytes_to_pages(blob, n_pages=2).shape == (2, 64, 8)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_to_pages(b"abc", pad=False)
+
+
+class TestLoadAndAnalyze:
+    def test_load_dump(self, tmp_path):
+        path = tmp_path / "image.bin"
+        path.write_bytes(b"\x2a" * (2 * PAGE_BYTES))
+        pages = load_dump(path)
+        assert pages.shape == (2, 64, 8)
+        assert (pages.view(np.uint8) == 0x2A).all()
+
+    def test_analysis_of_zero_image(self):
+        pages = bytes_to_pages(b"\x00" * (4 * PAGE_BYTES))
+        analysis = analyze_pages(pages)
+        assert analysis.zero_byte_frac == 1.0
+        assert analysis.zero_1kb_frac == 1.0
+        assert analysis.skippable_word_frac == 1.0
+        assert analysis.delta_bits_p90 == 0.0
+
+    def test_analysis_of_random_image(self):
+        rng = np.random.default_rng(0)
+        pages = bytes_to_pages(rng.bytes(8 * PAGE_BYTES))
+        analysis = analyze_pages(pages)
+        assert analysis.zero_byte_frac < 0.02
+        assert analysis.skippable_word_frac < 0.02
+        assert analysis.delta_bits_p50 > 60
+
+    def test_analysis_of_structured_image(self):
+        """An image of small ints shows high skippability."""
+        values = np.arange(4 * PAGE_BYTES // 8, dtype=np.uint64) % 251
+        pages = bytes_to_pages(values.tobytes())
+        analysis = analyze_pages(pages)
+        assert analysis.skippable_word_frac > 0.6
+        assert "discharged words" in analysis.summary()
+
+    def test_analyze_dump_file(self, tmp_path):
+        path = tmp_path / "z.bin"
+        path.write_bytes(b"\x00" * PAGE_BYTES)
+        assert analyze_dump(path).zero_byte_frac == 1.0
+
+    def test_populate_system_with_dump(self, tmp_path):
+        """Real-content images drive the full simulator."""
+        rng = np.random.default_rng(1)
+        half = bytes(2 * PAGE_BYTES)
+        other = rng.bytes(2 * PAGE_BYTES)
+        path = tmp_path / "mixed.bin"
+        path.write_bytes(half + other)
+        pages_content = load_dump(path)
+        config = SystemConfig.scaled(total_bytes=4 << 20, rows_per_ar=32)
+        system = ZeroRefreshSystem(config)
+        pages = np.arange(len(pages_content))
+        system.controller.populate_pages(pages, pages_content, notify=False)
+        for page in pages:
+            got = system.read_page(int(page))
+            np.testing.assert_array_equal(got, pages_content[page])

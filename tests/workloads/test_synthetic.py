@@ -1,0 +1,97 @@
+"""Tests for the synthetic content classes."""
+
+import numpy as np
+import pytest
+
+from repro.transform.bitplane import BitPlaneTransform
+from repro.transform.celltype import CellType
+from repro.transform.ebdi import EbdiCodec
+from repro.workloads.synthetic import (
+    LINE_CLASSES,
+    SKIPPABLE_GROUPS,
+    generate_lines,
+    zero_block_fraction,
+    zero_byte_fraction,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", sorted(LINE_CLASSES))
+    def test_shape_and_dtype(self, name, rng):
+        lines = generate_lines(name, 100, rng)
+        assert lines.shape == (100, 8)
+        assert lines.dtype == np.uint64
+
+    def test_unknown_class_rejected(self, rng):
+        with pytest.raises(ValueError, match="unknown content class"):
+            generate_lines("nope", 1, rng)
+
+    def test_zero_class_is_zero(self, rng):
+        assert not generate_lines("zero", 10, rng).any()
+
+    def test_uniform32_constant_within_line(self, rng):
+        lines = generate_lines("uniform32", 50, rng)
+        assert (lines == lines[:, :1]).all()
+        assert (lines < 2**32).all()
+
+    def test_text_bytes_are_printable_ascii(self, rng):
+        lines = generate_lines("text", 20, rng)
+        raw = lines.view(np.uint8)
+        assert (raw >= 0x20).all() and (raw < 0x7F).all()
+
+    def test_padded_mostly_zero_bytes(self, rng):
+        lines = generate_lines("padded", 200, rng)
+        zb = zero_byte_fraction(lines)
+        assert 0.7 < zb < 0.9
+
+    def test_pointer_lines_share_high_bytes(self, rng):
+        lines = generate_lines("pointer", 50, rng)
+        high = lines >> np.uint64(48)
+        assert (high == high[:, :1]).all()
+
+    def test_float64_decodes_to_floats(self, rng):
+        lines = generate_lines("float64", 20, rng)
+        values = lines.view(np.float64)
+        assert np.isfinite(values).all()
+        assert (np.abs(values) > 0).all()
+
+
+class TestSkippableGroupsTable:
+    """SKIPPABLE_GROUPS is the analytic calibration model — verify every
+    entry against the actual transformation pipeline."""
+
+    @pytest.mark.parametrize("name", sorted(SKIPPABLE_GROUPS))
+    def test_table_matches_pipeline(self, name, rng):
+        ebdi = EbdiCodec()
+        bitplane = BitPlaneTransform()
+        lines = generate_lines(name, 2048, rng)
+        encoded = bitplane.apply(ebdi.encode(lines, CellType.TRUE))
+        # A word position is skippable if it is zero in EVERY line
+        # (block coupling over a pure region of this class).
+        word_all_zero = (encoded == 0).all(axis=0)
+        assert int(word_all_zero.sum()) == SKIPPABLE_GROUPS[name], (
+            f"{name}: pipeline gives {int(word_all_zero.sum())} "
+            f"discharged word positions, table says {SKIPPABLE_GROUPS[name]}"
+        )
+
+
+class TestZeroMetrics:
+    def test_zero_byte_fraction(self):
+        lines = np.zeros((4, 8), dtype=np.uint64)
+        assert zero_byte_fraction(lines) == 1.0
+        lines[:] = 0xFFFFFFFFFFFFFFFF
+        assert zero_byte_fraction(lines) == 0.0
+
+    def test_zero_block_fraction(self):
+        lines = np.zeros((32, 8), dtype=np.uint64)  # 2 KB -> 2 blocks
+        lines[16:] = 1
+        assert zero_block_fraction(lines, 1024) == pytest.approx(0.5)
+
+    def test_zero_block_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            zero_block_fraction(np.zeros((1, 8), dtype=np.uint64), 1024)
