@@ -6,6 +6,11 @@ simulator at 100 % allocation and prints the per-benchmark normalised
 refresh next to the mixture-implied analytic value, ordered best to
 worst — the same series Fig. 14's 100 % bars plot.
 
+The sweep goes through :mod:`repro.api`'s experiment engine: one
+``SimJob`` per benchmark, fanned out over ``--jobs`` worker processes
+(default: every core) with results memoised in the on-disk cache when
+``--cache`` is given.
+
 Run:  python examples/benchmark_sweep.py [--memory-mb 16] [--windows 2]
 """
 
@@ -13,8 +18,9 @@ import argparse
 
 import numpy as np
 
-from repro import SystemConfig, ZeroRefreshSystem
+import repro.api as api
 from repro.analysis import render_table
+from repro.experiments import SimJob
 from repro.workloads import PROFILES
 
 
@@ -22,18 +28,29 @@ def main() -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--memory-mb", type=int, default=16)
     parser.add_argument("--windows", type=int, default=2)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: all cores)")
+    parser.add_argument("--cache", action="store_true",
+                        help="memoise results in the on-disk cache")
     args = parser.parse_args()
+
+    ordered = sorted(PROFILES.items(), key=lambda kv: -kv[1].expected_reduction())
+    settings = api.default_settings(
+        memory_bytes=args.memory_mb << 20,
+        windows=args.windows,
+        rows_per_ar=32,
+        seed=100,
+        benchmarks=tuple(name for name, _ in ordered),
+    )
+    jobs = [SimJob(benchmark=name, allocated_fraction=1.0, seed_offset=i)
+            for i, name in enumerate(settings.benchmarks)]
+
+    runner = api.make_runner(jobs=args.jobs, cache=args.cache)
+    results = runner.run_jobs("benchmark-sweep", settings, jobs)
 
     rows = []
     measured = []
-    for i, (name, profile) in enumerate(sorted(
-            PROFILES.items(), key=lambda kv: -kv[1].expected_reduction())):
-        config = SystemConfig.scaled(
-            total_bytes=args.memory_mb << 20, rows_per_ar=32, seed=100 + i
-        )
-        system = ZeroRefreshSystem(config)
-        system.populate(profile, allocated_fraction=1.0)
-        result = system.run_windows(args.windows)
+    for (name, profile), result in zip(ordered, results):
         measured.append(result.refresh_reduction)
         rows.append([
             name,

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Regenerate paper figures through the blessed ``repro.api`` path.
+
+Everything the CLI can do is available programmatically: pick
+experiments, scale settings, fan work out over processes, and reuse the
+on-disk result cache across calls.  A second run of this script (with
+``--cache``) serves every simulation point from the cache.
+
+Run:  python examples/paper_figures.py [fig17 fig19 ...] [--quick]
+"""
+
+import argparse
+
+import repro.api as api
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("experiments", nargs="*", default=["fig17", "fig19"],
+                        help="experiment ids (default: fig17 fig19); "
+                             f"known: {', '.join(api.list_experiments())}")
+    parser.add_argument("--quick", action="store_true",
+                        help="small scale: 16 MB, 2 windows, 9 benchmarks")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: all cores)")
+    parser.add_argument("--cache", action="store_true",
+                        help="memoise results in the on-disk cache")
+    args = parser.parse_args()
+
+    settings = api.quick_settings() if args.quick else api.default_settings()
+    runner = api.make_runner(jobs=args.jobs, cache=args.cache)
+    for experiment_id in args.experiments:
+        result = api.run_experiment(experiment_id, settings, runner=runner)
+        print(result.render())
+        print()
+    hits, misses = runner.stats.cache_hits, runner.stats.cache_misses
+    print(f"engine: {runner.stats.jobs} jobs, {hits} cache hits, "
+          f"{misses} simulated")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,22 +1,39 @@
 #!/usr/bin/env python
 """Regenerate every experiment at the standard reproduction scale and
-write the combined report (used to produce EXPERIMENTS.md numbers)."""
+write the combined report (used to produce EXPERIMENTS.md numbers).
 
+Runs through :mod:`repro.api` — the parallel, cache-aware engine — so
+repeated invocations reuse previously simulated points.  Use
+``--jobs``/``--no-cache`` to control the engine, or the richer
+``python -m repro.experiments`` CLI for single figures.
+"""
+
+import argparse
 import sys
 import time
 
-from repro.experiments import REGISTRY, ExperimentSettings
+import repro.api as api
 
 
-def main() -> int:
-    settings = ExperimentSettings(
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: all cores)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write the result cache")
+    args = parser.parse_args(argv)
+
+    settings = api.default_settings(
         memory_bytes=16 << 20, windows=4, rows_per_ar=32, seed=7
     )
-    for name, runner in REGISTRY.items():
-        start = time.time()
-        result = runner(settings)
+    runner = api.make_runner(jobs=args.jobs, cache=not args.no_cache)
+    start = time.time()
+    for name in api.list_experiments():
+        exp_start = time.time()
+        result = api.run_experiment(name, settings, runner=runner)
         print(result.render())
-        print(f"({time.time() - start:.1f}s)\n", flush=True)
+        print(f"({time.time() - exp_start:.1f}s)\n", flush=True)
+    print(f"engine: {runner.summary(time.time() - start)}", file=sys.stderr)
     return 0
 
 

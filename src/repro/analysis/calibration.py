@@ -17,7 +17,7 @@ calibration tests use it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Iterable, List
 
 import numpy as np
 

@@ -1,0 +1,127 @@
+"""The blessed public interface for running paper experiments.
+
+One entry path instead of three: ``python -m repro.experiments``,
+``run_experiments.py`` and the examples all route through this module.
+
+    >>> import repro.api as api
+    >>> api.list_experiments()[:3]
+    ['fig04', 'tab01', 'fig05']
+    >>> result = api.run_experiment(
+    ...     "fig17", settings=api.quick_settings(), jobs=4)
+    >>> print(result.render())          # or result.to_json(), .to_csv()
+
+``run_experiment`` executes through the parallel, cache-aware engine
+(:mod:`repro.experiments.engine`): work fans out over ``jobs`` worker
+processes and every simulation point is memoised in a content-addressed
+on-disk cache, so regenerating a figure — or a second figure that
+shares simulation points with the first — reuses results instead of
+re-simulating.  Pass ``cache=False`` to force fresh simulation, or a
+``cache_dir`` to relocate the store (default: ``$REPRO_CACHE_DIR`` or
+``.repro-cache``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Union
+
+from repro.experiments import REGISTRY
+from repro.experiments.cache import ResultCache
+from repro.experiments.engine import Experiment, Runner
+from repro.experiments.runner import ExperimentResult, ExperimentSettings
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSettings",
+    "Runner",
+    "default_settings",
+    "get_experiment",
+    "list_experiments",
+    "make_runner",
+    "quick_settings",
+    "run_all",
+    "run_experiment",
+]
+
+
+def list_experiments() -> List[str]:
+    """Every runnable experiment id, in paper order."""
+    return list(REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """The :class:`Experiment` registered under ``experiment_id``."""
+    try:
+        return REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(REGISTRY)
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known ids: {known}"
+        ) from None
+
+
+def default_settings(**overrides) -> ExperimentSettings:
+    """Paper-scale settings (32 MB stand-in, 8 windows, full suite)."""
+    return ExperimentSettings(**overrides)
+
+
+def quick_settings(**overrides) -> ExperimentSettings:
+    """CI/bench scale (16 MB, 2 windows, 9 benchmarks)."""
+    return ExperimentSettings.quick(**overrides)
+
+
+def make_runner(
+    jobs: Optional[int] = None,
+    cache: Union[bool, ResultCache] = True,
+    cache_dir: Optional[os.PathLike] = None,
+) -> Runner:
+    """A configured engine :class:`Runner`.
+
+    ``jobs=None`` uses every core; ``cache`` accepts ``True`` (default
+    location), ``False`` (no caching) or a ready :class:`ResultCache`.
+    """
+    if isinstance(cache, ResultCache):
+        store = cache
+    elif cache:
+        store = ResultCache(cache_dir)
+    else:
+        store = None
+    return Runner(jobs=jobs, cache=store)
+
+
+def run_experiment(
+    experiment_id: str,
+    settings: Optional[ExperimentSettings] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: Union[bool, ResultCache] = True,
+    cache_dir: Optional[os.PathLike] = None,
+    runner: Optional[Runner] = None,
+) -> ExperimentResult:
+    """Run one experiment through the engine and return its result.
+
+    Pass an explicit ``runner`` to share a cache/manifest across
+    several calls (the CLI does this for ``all``); otherwise one is
+    built from ``jobs``/``cache``/``cache_dir``.
+    """
+    experiment = get_experiment(experiment_id)
+    if runner is None:
+        runner = make_runner(jobs=jobs, cache=cache, cache_dir=cache_dir)
+    return runner.run_experiment(experiment, settings)
+
+
+def run_all(
+    settings: Optional[ExperimentSettings] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: Union[bool, ResultCache] = True,
+    cache_dir: Optional[os.PathLike] = None,
+    runner: Optional[Runner] = None,
+) -> Dict[str, ExperimentResult]:
+    """Run every registered experiment; results keyed by id."""
+    if runner is None:
+        runner = make_runner(jobs=jobs, cache=cache, cache_dir=cache_dir)
+    return {
+        experiment_id: runner.run_experiment(REGISTRY[experiment_id], settings)
+        for experiment_id in REGISTRY
+    }

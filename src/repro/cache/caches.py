@@ -13,7 +13,7 @@ shared 32-way LLC of 2 MB per core, 64 B lines.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 
 @dataclass(frozen=True)

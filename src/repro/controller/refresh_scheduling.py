@@ -26,8 +26,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
-
 from repro.dram.timing import AR_COMMANDS_PER_WINDOW, TimingParams
 
 JEDEC_MAX_POSTPONED = 8

@@ -3,12 +3,18 @@
 :class:`~repro.dram.refresh.RefreshStats` (re-exported here) carries the
 refresh counters; :class:`RunResult` adds the derived energy and IPC
 views for one complete simulation run.
+
+``RunResult`` and everything it nests are plain dataclasses of
+primitives, so results pickle cleanly — the experiment engine ships
+them across process boundaries and stores them in the on-disk result
+cache.  :meth:`RunResult.to_dict` provides the JSON-able view used by
+run manifests and reports.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional
 
 from repro.cpu.core import IpcResult
 from repro.dram.refresh import RefreshStats
@@ -44,6 +50,19 @@ class RunResult:
     @property
     def normalized_ipc(self) -> Optional[float]:
         return self.ipc.normalized_ipc if self.ipc else None
+
+    def to_dict(self) -> Dict:
+        """JSON-able form: raw counters plus the derived headline ratios."""
+        return {
+            "benchmark": self.benchmark,
+            "allocated_fraction": self.allocated_fraction,
+            "normalized_refresh": self.normalized_refresh,
+            "normalized_energy": self.normalized_energy,
+            "normalized_ipc": self.normalized_ipc,
+            "refresh": asdict(self.refresh),
+            "energy": asdict(self.energy),
+            "ipc": asdict(self.ipc) if self.ipc else None,
+        }
 
     def summary(self) -> str:
         parts = [

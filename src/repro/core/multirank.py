@@ -20,7 +20,7 @@ accounting.  :class:`MultiRankSystem` provides that aggregation:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import List, Optional
+from typing import List
 
 from repro.core.config import SystemConfig
 from repro.core.metrics import RunResult

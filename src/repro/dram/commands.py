@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import collections
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, List, Optional
 
 from repro.dram.timing import TimingParams

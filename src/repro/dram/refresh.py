@@ -37,7 +37,7 @@ access-bit protocol (the tracking ablation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

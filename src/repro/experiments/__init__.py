@@ -23,7 +23,12 @@ ext-*       extensions (hybrid charge+recency engine, VRT exposure of
 Run from the command line::
 
     python -m repro.experiments fig14 --quick
-    python -m repro.experiments all --quick
+    python -m repro.experiments all --quick --jobs 4
+
+or programmatically through :mod:`repro.api`.  Execution goes through
+the parallel, cache-aware engine in :mod:`repro.experiments.engine`;
+see its docstring for the ``plan``/``reduce`` split and the result
+cache.
 """
 
 from repro.experiments import (
@@ -44,6 +49,7 @@ from repro.experiments import (
     sram_overhead,
     tab01,
 )
+from repro.experiments.engine import Experiment, Runner, SimJob
 from repro.experiments.runner import (
     ExperimentResult,
     ExperimentSettings,
@@ -52,32 +58,38 @@ from repro.experiments.runner import (
 )
 
 REGISTRY = {
-    "fig04": fig04.run,
-    "tab01": tab01.run,
-    "fig05": fig05.run,
-    "fig06": fig06.run,
-    "fig14": fig14.run,
-    "fig15": fig15.run,
-    "fig16": fig16.run,
-    "fig17": fig17.run,
-    "fig18": fig18.run,
-    "fig19": fig19.run,
-    "sram": sram_overhead.run,
-    "abl-stages": ablations.run_stages,
-    "abl-celltype": ablations.run_celltype,
-    "abl-wordsize": ablations.run_wordsize,
-    "abl-tracking": ablations.run_tracking,
-    "abl-policy": ablations.run_policy,
-    "ext-hybrid": ext_hybrid.run,
-    "abl-compression": abl_compression.run,
-    "ext-vrt": ext_vrt.run,
-    "ext-scheduling": ext_scheduling.run,
+    "fig04": Experiment("fig04", run=fig04.run),
+    "tab01": Experiment("tab01", run=tab01.run),
+    "fig05": Experiment("fig05", run=fig05.run),
+    "fig06": Experiment("fig06", run=fig06.run),
+    "fig14": fig14.EXPERIMENT,
+    "fig15": fig15.EXPERIMENT,
+    "fig16": Experiment("fig16", run=fig16.run),
+    "fig17": fig17.EXPERIMENT,
+    "fig18": Experiment("fig18", run=fig18.run),
+    "fig19": fig19.EXPERIMENT,
+    "sram": Experiment("sram", run=sram_overhead.run),
+    "abl-stages": ablations.STAGES,
+    "abl-celltype": ablations.CELLTYPE,
+    "abl-wordsize": ablations.WORDSIZE,
+    "abl-tracking": ablations.TRACKING,
+    "abl-policy": ablations.POLICY,
+    "ext-hybrid": Experiment("ext-hybrid", run=ext_hybrid.run),
+    "abl-compression": Experiment("abl-compression", run=abl_compression.run),
+    "ext-vrt": Experiment("ext-vrt", run=ext_vrt.run),
+    "ext-scheduling": Experiment("ext-scheduling", run=ext_scheduling.run),
 }
+"""Every experiment, by id.  Values are callable (``REGISTRY[id](settings)``
+runs serially without caching); engine-aware callers hand them to a
+:class:`~repro.experiments.engine.Runner` or use :mod:`repro.api`."""
 
 __all__ = [
+    "Experiment",
     "ExperimentResult",
     "ExperimentSettings",
     "REGISTRY",
+    "Runner",
+    "SimJob",
     "simulate_benchmark",
     "sweep_benchmarks",
 ]

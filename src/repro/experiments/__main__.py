@@ -3,17 +3,30 @@
 Examples::
 
     python -m repro.experiments fig14 --quick
-    python -m repro.experiments all
+    python -m repro.experiments all --quick --jobs 4
     python -m repro.experiments fig18 --memory-mb 64 --windows 8
+    python -m repro.experiments fig17 --json
+    python -m repro.experiments all --csv-out out/ --no-cache
+
+Simulation points fan out over ``--jobs`` worker processes and land in
+a content-addressed on-disk cache (``--cache-dir``, default
+``$REPRO_CACHE_DIR`` or ``.repro-cache``), so re-runs and figures that
+share points are served from disk.  Every run appends a JSONL manifest
+(one line per job: digest, cache hit/miss, wall time, worker id) under
+``<cache-dir>/manifests/`` and prints a summary at the end.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
+from pathlib import Path
 
-from repro.experiments import REGISTRY, ExperimentSettings
+import repro.api as api
+from repro.experiments import REGISTRY
+from repro.experiments.cache import default_cache_dir
 
 
 def main(argv=None) -> int:
@@ -26,16 +39,27 @@ def main(argv=None) -> int:
         help=f"experiment id or 'all'; one of: {', '.join(REGISTRY)}",
     )
     parser.add_argument("--quick", action="store_true",
-                        help="small scale: 8 MB, 2 windows, 9 benchmarks")
+                        help="small scale: 16 MB, 2 windows, 9 benchmarks")
     parser.add_argument("--memory-mb", type=int, default=None,
                         help="simulated capacity in MB (default 32)")
     parser.add_argument("--windows", type=int, default=None,
                         help="measured retention windows (default 8)")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: all cores)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write the result cache")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="result cache location (default: "
+                             "$REPRO_CACHE_DIR or .repro-cache)")
+    parser.add_argument("--json", action="store_true",
+                        help="print results as JSON instead of tables")
+    parser.add_argument("--csv-out", type=Path, default=None, metavar="DIR",
+                        help="also write each result as DIR/<id>.csv")
     args = parser.parse_args(argv)
 
-    settings = (ExperimentSettings.quick(seed=args.seed)
-                if args.quick else ExperimentSettings(seed=args.seed))
+    settings = (api.quick_settings(seed=args.seed)
+                if args.quick else api.default_settings(seed=args.seed))
     overrides = {}
     if args.memory_mb is not None:
         overrides["memory_bytes"] = args.memory_mb << 20
@@ -50,10 +74,30 @@ def main(argv=None) -> int:
     for name in names:
         if name not in REGISTRY:
             parser.error(f"unknown experiment {name!r}")
+    if args.csv_out is not None:
+        args.csv_out.mkdir(parents=True, exist_ok=True)
+
+    runner = api.make_runner(jobs=args.jobs, cache=not args.no_cache,
+                             cache_dir=args.cache_dir)
+    # Tables/JSON go to stdout; timings and engine diagnostics go to
+    # stderr so repeated runs produce byte-identical result streams.
+    run_start = time.time()
+    for name in names:
         start = time.time()
-        result = REGISTRY[name](settings)
-        print(result.render())
-        print(f"({time.time() - start:.1f}s)\n")
+        result = api.run_experiment(name, settings, runner=runner)
+        print(result.to_json(indent=2) if args.json else result.render())
+        if not args.json:
+            print()
+        print(f"[{name}] {time.time() - start:.1f}s", file=sys.stderr)
+        if args.csv_out is not None:
+            result.save_csv(args.csv_out / f"{name}.csv")
+
+    elapsed = time.time() - run_start
+    manifest_dir = (args.cache_dir or default_cache_dir()) / "manifests"
+    manifest_path = manifest_dir / f"run-{int(run_start)}-{os.getpid()}.jsonl"
+    runner.write_manifest(manifest_path)
+    print(f"engine: {runner.summary(elapsed)}", file=sys.stderr)
+    print(f"manifest: {manifest_path}", file=sys.stderr)
     return 0
 
 

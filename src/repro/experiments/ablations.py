@@ -1,27 +1,27 @@
 """Ablation studies for the design choices DESIGN.md calls out.
 
-* :func:`run_stages` — contribution of each pipeline stage: raw values
+* :data:`STAGES` — contribution of each pipeline stage: raw values
   only, +EBDI, +bit-plane, +rotation/cell-type (the full design).
-* :func:`run_celltype` — cost of imperfect true/anti identification
+* :data:`CELLTYPE` — cost of imperfect true/anti identification
   (the paper argues accuracy need not be 100 %: mispredictions only
   forfeit skip opportunity).
-* :func:`run_wordsize` — EBDI word size 4 B vs the paper's 8 B.
-* :func:`run_tracking` — skip behaviour of the naive per-write tracker
+* :data:`WORDSIZE` — EBDI word size 4 B vs the paper's 8 B.
+* :data:`TRACKING` — skip behaviour of the naive per-write tracker
   vs the access-bit protocol (they must agree on steady-state skips;
   their cost difference is the sram experiment).
+* :data:`POLICY` — per-bank vs all-bank AR refresh policy.
+
+Each ablation is a variants × benchmarks grid, expressed as an engine
+plan (one :class:`~repro.experiments.engine.SimJob` per cell, row
+major) plus a reduce that lays the grid back out as a table.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+from typing import List
 
-import numpy as np
-
-from repro.experiments.runner import (
-    ExperimentResult,
-    ExperimentSettings,
-    simulate_benchmark,
-)
+from repro.experiments.engine import Experiment, SimJob
+from repro.experiments.runner import ExperimentResult, ExperimentSettings
 from repro.transform.codec import StageSelection
 
 ABLATION_BENCHMARKS = ("gemsFDTD", "mcf", "bzip2", "omnetpp")
@@ -35,6 +35,8 @@ STAGE_VARIANTS = (
     ("+rotation (full)", StageSelection.full(), True),
 )
 
+CELLTYPE_ERROR_RATES = (0.0, 0.05, 0.25, 0.5)
+
 
 def _benchmarks(settings: ExperimentSettings):
     return [b for b in ABLATION_BENCHMARKS if b in settings.benchmarks] or list(
@@ -42,20 +44,38 @@ def _benchmarks(settings: ExperimentSettings):
     )
 
 
-def run_stages(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult:
+def _grid_jobs(settings: ExperimentSettings, variant_overrides) -> List[SimJob]:
+    """Row-major jobs for a variants × benchmarks grid."""
     names = _benchmarks(settings)
-    rows = []
-    for label, stages, staggered in STAGE_VARIANTS:
-        row = [label]
-        for i, name in enumerate(names):
-            result = simulate_benchmark(
-                settings, name, 1.0,
-                config_overrides={"stages": stages,
-                                  "staggered_counters": staggered},
-                seed_offset=i,
-            )
-            row.append(result.normalized_refresh)
-        rows.append(row)
+    return [
+        SimJob(benchmark=name, allocated_fraction=1.0,
+               config_overrides=overrides, seed_offset=i)
+        for overrides in variant_overrides
+        for i, name in enumerate(names)
+    ]
+
+
+def _grid_rows(settings: ExperimentSettings, labels, results, metric):
+    """Invert :func:`_grid_jobs`: one table row per variant."""
+    names = _benchmarks(settings)
+    it = iter(results)
+    return [[label] + [metric(next(it)) for _ in names] for label in labels]
+
+
+# ----------------------------------------------------------------------
+# pipeline stages
+# ----------------------------------------------------------------------
+def plan_stages(settings: ExperimentSettings) -> List[SimJob]:
+    return _grid_jobs(settings, [
+        {"stages": stages, "staggered_counters": staggered}
+        for _, stages, staggered in STAGE_VARIANTS
+    ])
+
+
+def reduce_stages(settings: ExperimentSettings, results: list) -> ExperimentResult:
+    names = _benchmarks(settings)
+    rows = _grid_rows(settings, [label for label, _, _ in STAGE_VARIANTS],
+                      results, lambda r: r.normalized_refresh)
     return ExperimentResult(
         experiment_id="abl-stages",
         title="Pipeline-stage contribution (normalized refresh, 100% alloc)",
@@ -65,20 +85,23 @@ def run_stages(settings: ExperimentSettings = ExperimentSettings()) -> Experimen
     )
 
 
-def run_celltype(settings: ExperimentSettings = ExperimentSettings(),
-                 error_rates=(0.0, 0.05, 0.25, 0.5)) -> ExperimentResult:
+STAGES = Experiment("abl-stages", plan=plan_stages, reduce=reduce_stages)
+
+
+# ----------------------------------------------------------------------
+# cell-type identification accuracy
+# ----------------------------------------------------------------------
+def plan_celltype(settings: ExperimentSettings) -> List[SimJob]:
+    return _grid_jobs(settings, [
+        {"celltype_error_rate": rate} for rate in CELLTYPE_ERROR_RATES
+    ])
+
+
+def reduce_celltype(settings: ExperimentSettings, results: list) -> ExperimentResult:
     names = _benchmarks(settings)
-    rows = []
-    for error_rate in error_rates:
-        row = [f"error={error_rate:.0%}"]
-        for i, name in enumerate(names):
-            result = simulate_benchmark(
-                settings, name, 1.0,
-                config_overrides={"celltype_error_rate": error_rate},
-                seed_offset=i,
-            )
-            row.append(result.normalized_refresh)
-        rows.append(row)
+    rows = _grid_rows(settings,
+                      [f"error={rate:.0%}" for rate in CELLTYPE_ERROR_RATES],
+                      results, lambda r: r.normalized_refresh)
     return ExperimentResult(
         experiment_id="abl-celltype",
         title="Cell-type misprediction cost (normalized refresh)",
@@ -88,19 +111,23 @@ def run_celltype(settings: ExperimentSettings = ExperimentSettings(),
     )
 
 
-def run_wordsize(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult:
+CELLTYPE = Experiment("abl-celltype", plan=plan_celltype, reduce=reduce_celltype)
+
+
+# ----------------------------------------------------------------------
+# EBDI word size
+# ----------------------------------------------------------------------
+WORD_SIZES = (8, 4)
+
+
+def plan_wordsize(settings: ExperimentSettings) -> List[SimJob]:
+    return _grid_jobs(settings, [{"word_bytes": wb} for wb in WORD_SIZES])
+
+
+def reduce_wordsize(settings: ExperimentSettings, results: list) -> ExperimentResult:
     names = _benchmarks(settings)
-    rows = []
-    for word_bytes in (8, 4):
-        row = [f"{word_bytes} B words"]
-        for i, name in enumerate(names):
-            result = simulate_benchmark(
-                settings, name, 1.0,
-                config_overrides={"word_bytes": word_bytes},
-                seed_offset=i,
-            )
-            row.append(result.normalized_refresh)
-        rows.append(row)
+    rows = _grid_rows(settings, [f"{wb} B words" for wb in WORD_SIZES],
+                      results, lambda r: r.normalized_refresh)
     return ExperimentResult(
         experiment_id="abl-wordsize",
         title="EBDI word size (normalized refresh, 100% alloc)",
@@ -111,28 +138,35 @@ def run_wordsize(settings: ExperimentSettings = ExperimentSettings()) -> Experim
     )
 
 
-def run_policy(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult:
-    """Per-bank vs all-bank AR (paper Sec. IV-A).
+WORDSIZE = Experiment("abl-wordsize", plan=plan_wordsize, reduce=reduce_wordsize)
+
+
+# ----------------------------------------------------------------------
+# refresh policy (paper Sec. IV-A)
+# ----------------------------------------------------------------------
+POLICIES = ("per-bank", "all-bank")
+
+
+def plan_policy(settings: ExperimentSettings) -> List[SimJob]:
+    """Per-bank vs all-bank AR.
 
     Both policies skip the same refreshes (same energy), but an
     all-bank command blocks the rank until its slowest bank finishes,
     so the recovered *bandwidth* — and hence the IPC gain — shrinks.
     """
+    return _grid_jobs(settings, [{"refresh_policy": p} for p in POLICIES])
+
+
+def reduce_policy(settings: ExperimentSettings, results: list) -> ExperimentResult:
     names = _benchmarks(settings)
+    it = iter(results)
     rows = []
-    for policy in ("per-bank", "all-bank"):
-        refresh_row = [f"{policy} refresh"]
-        ipc_row = [f"{policy} IPC"]
-        for i, name in enumerate(names):
-            result = simulate_benchmark(
-                settings, name, 1.0,
-                config_overrides={"refresh_policy": policy},
-                seed_offset=i,
-            )
-            refresh_row.append(result.normalized_refresh)
-            ipc_row.append(result.ipc.normalized_ipc)
-        rows.append(refresh_row)
-        rows.append(ipc_row)
+    for policy in POLICIES:
+        variant = [next(it) for _ in names]
+        rows.append([f"{policy} refresh"]
+                    + [r.normalized_refresh for r in variant])
+        rows.append([f"{policy} IPC"]
+                    + [r.ipc.normalized_ipc for r in variant])
     return ExperimentResult(
         experiment_id="abl-policy",
         title="Refresh policy: per-bank vs all-bank AR",
@@ -143,20 +177,26 @@ def run_policy(settings: ExperimentSettings = ExperimentSettings()) -> Experimen
     )
 
 
-def run_tracking(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult:
+POLICY = Experiment("abl-policy", plan=plan_policy, reduce=reduce_policy)
+
+
+# ----------------------------------------------------------------------
+# tracking design
+# ----------------------------------------------------------------------
+TRACKER_MODES = (("zero-refresh", "access bits + DRAM table"),
+                 ("naive", "naive per-write SRAM"))
+
+
+def plan_tracking(settings: ExperimentSettings) -> List[SimJob]:
+    return _grid_jobs(settings, [
+        {"refresh_mode": mode} for mode, _ in TRACKER_MODES
+    ])
+
+
+def reduce_tracking(settings: ExperimentSettings, results: list) -> ExperimentResult:
     names = _benchmarks(settings)
-    rows = []
-    for mode, label in (("zero-refresh", "access bits + DRAM table"),
-                        ("naive", "naive per-write SRAM")):
-        row = [label]
-        for i, name in enumerate(names):
-            result = simulate_benchmark(
-                settings, name, 1.0,
-                config_overrides={"refresh_mode": mode},
-                seed_offset=i,
-            )
-            row.append(result.normalized_refresh)
-        rows.append(row)
+    rows = _grid_rows(settings, [label for _, label in TRACKER_MODES],
+                      results, lambda r: r.normalized_refresh)
     return ExperimentResult(
         experiment_id="abl-tracking",
         title="Tracking design (normalized refresh, 100% alloc)",
@@ -165,3 +205,29 @@ def run_tracking(settings: ExperimentSettings = ExperimentSettings()) -> Experim
         notes="the optimised design pays only the dirty-set transient vs "
               "the naive tracker; its SRAM is 128x smaller (see 'sram')",
     )
+
+
+TRACKING = Experiment("abl-tracking", plan=plan_tracking, reduce=reduce_tracking)
+
+
+# ----------------------------------------------------------------------
+# legacy entry points (serial, uncached)
+# ----------------------------------------------------------------------
+def run_stages(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult:
+    return STAGES(settings)
+
+
+def run_celltype(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult:
+    return CELLTYPE(settings)
+
+
+def run_wordsize(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult:
+    return WORDSIZE(settings)
+
+
+def run_policy(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult:
+    return POLICY(settings)
+
+
+def run_tracking(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult:
+    return TRACKING(settings)

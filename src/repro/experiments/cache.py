@@ -1,0 +1,174 @@
+"""Content-addressed on-disk result cache for the experiment engine.
+
+Every simulation point is identified by a *stable* digest of everything
+that determines its outcome: the :class:`~repro.experiments.runner.ExperimentSettings`,
+the job description (benchmark, allocation, config overrides, seed) and
+a code-version fingerprint of the ``repro`` source tree.  The digest is
+a SHA-256 over a canonical JSON encoding, so it is identical across
+processes and interpreter runs (no dependence on ``PYTHONHASHSEED``,
+dict order or ``repr`` quirks) — which is what lets a
+:class:`~repro.experiments.engine.Runner` in one process reuse results
+computed by workers in another, or by yesterday's run.
+
+Layout on disk::
+
+    <cache-dir>/
+        v1/<digest[:2]>/<digest>.pkl    pickled result payloads
+        manifests/<run-id>.jsonl        run manifests (written by the CLI)
+
+The default cache directory is ``$REPRO_CACHE_DIR`` or ``.repro-cache``
+under the current working directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import fields, is_dataclass
+from enum import Enum
+from pathlib import Path
+from typing import Iterator, Optional
+
+CACHE_SCHEMA = 1
+"""Bump to invalidate every cached result on an incompatible change."""
+
+_ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+_DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> Path:
+    """The cache root used when none is given explicitly."""
+    return Path(os.environ.get(_ENV_CACHE_DIR, _DEFAULT_CACHE_DIR))
+
+
+# ----------------------------------------------------------------------
+# canonical encoding + digests
+# ----------------------------------------------------------------------
+def canonicalize(obj):
+    """Reduce ``obj`` to a JSON-able structure with deterministic form.
+
+    Handles the types that appear in settings and job descriptions:
+    primitives, sequences, mappings (sorted by key), enums and
+    dataclasses (encoded with their class name so two settings types
+    with the same field values do not collide).
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, Enum):
+        return ["enum", type(obj).__name__, obj.name]
+    if is_dataclass(obj) and not isinstance(obj, type):
+        body = {f.name: canonicalize(getattr(obj, f.name)) for f in fields(obj)}
+        return ["dataclass", type(obj).__name__, body]
+    if isinstance(obj, dict):
+        return ["dict", sorted((str(k), canonicalize(v)) for k, v in obj.items())]
+    if isinstance(obj, (list, tuple)):
+        return ["seq", [canonicalize(v) for v in obj]]
+    if isinstance(obj, (bytes, bytearray)):
+        return ["bytes", hashlib.sha256(bytes(obj)).hexdigest()]
+    if hasattr(obj, "tolist"):  # numpy scalars / arrays
+        return canonicalize(obj.tolist())
+    raise TypeError(
+        f"cannot build a stable cache key from {type(obj).__name__!r}: {obj!r}"
+    )
+
+
+def stable_digest(*parts) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``parts``."""
+    payload = json.dumps(
+        [canonicalize(p) for p in parts], sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+_code_version: Optional[str] = None
+
+
+def code_version() -> str:
+    """Fingerprint of the ``repro`` source tree (cached per process).
+
+    Any edit to any module under ``src/repro`` changes the fingerprint,
+    so stale results can never be served after the simulator changes.
+    """
+    global _code_version
+    if _code_version is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode("utf-8"))
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _code_version = h.hexdigest()
+    return _code_version
+
+
+# ----------------------------------------------------------------------
+# the cache proper
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Pickle store addressed by :func:`stable_digest` keys.
+
+    Corrupt or unreadable entries are treated as misses and removed, so
+    an interrupted run can never poison later ones.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    # -- keys ----------------------------------------------------------
+    def job_key(self, settings, job) -> str:
+        """Digest for one simulation job under ``settings``."""
+        return stable_digest("job", CACHE_SCHEMA, code_version(), settings, job)
+
+    def experiment_key(self, experiment_id: str, settings) -> str:
+        """Digest for a whole legacy-``run()`` experiment result."""
+        return stable_digest(
+            "experiment", CACHE_SCHEMA, code_version(), experiment_id, settings
+        )
+
+    # -- storage -------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.root / f"v{CACHE_SCHEMA}" / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str):
+        """The cached payload for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            path.unlink(missing_ok=True)
+            return None
+
+    def put(self, key: str, value) -> None:
+        """Store ``value`` under ``key`` (atomic: write-then-rename)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("wb") as fh:
+            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    # -- maintenance ---------------------------------------------------
+    def entries(self) -> Iterator[Path]:
+        yield from self.root.glob(f"v{CACHE_SCHEMA}/??/*.pkl")
+
+    def clear(self) -> int:
+        """Delete every cached result; returns the number removed."""
+        n = 0
+        for path in list(self.entries()):
+            path.unlink(missing_ok=True)
+            n += 1
+        return n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultCache({str(self.root)!r})"

@@ -1,0 +1,369 @@
+"""Parallel, cache-aware experiment execution engine.
+
+The serial harness regenerated every figure by looping over
+``REGISTRY[name](settings)``; a full sweep re-simulated the same
+(benchmark, allocation, config) point dozens of times across figures
+and used one core.  This module splits experiments into *planning* and
+*reduction* around a fan-out middle:
+
+``plan(settings) -> list[SimJob]``
+    Pure description of the simulation points the experiment needs.
+``reduce(settings, results) -> ExperimentResult``
+    Aggregation of the per-job results (ordered as planned) into the
+    printable table.
+
+Between the two, :class:`Runner` executes jobs — deduplicated, cache
+checked via :class:`~repro.experiments.cache.ResultCache`, and fanned
+out over a ``ProcessPoolExecutor`` when ``jobs > 1``.  Jobs are fully
+deterministic (seeds are explicit in the job description), so parallel
+and serial execution produce identical results.
+
+Experiments that still expose only the legacy ``run(settings)``
+callable are wrapped by :class:`Experiment` with a shim: they execute
+in-process as one opaque job whose *whole* :class:`ExperimentResult`
+is cached.
+
+Every executed or cache-served job appends an entry to the runner's
+manifest (experiment id, settings digest, cache hit/miss, wall time,
+worker id), which :mod:`repro.experiments.__main__` writes as JSONL
+and summarizes at the end of a run.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.cache import ResultCache, stable_digest
+from repro.experiments.runner import ExperimentResult, ExperimentSettings
+
+SIMULATE = "repro.experiments.runner:simulate_benchmark"
+"""Default job function: one full-system benchmark simulation."""
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation point of an experiment's plan.
+
+    The default function is :func:`~repro.experiments.runner.simulate_benchmark`
+    called with ``(settings, benchmark, allocated_fraction,
+    config_overrides, seed_offset)``.  Experiments whose inner loop is
+    not a plain benchmark simulation point ``fn`` at any importable
+    ``"module:attr"`` callable with signature ``fn(settings, job)``;
+    ``params`` carries its extra arguments.  Everything in a job must
+    be picklable and canonicalizable — it crosses process boundaries
+    and feeds the cache key.
+    """
+
+    benchmark: str = ""
+    allocated_fraction: float = 1.0
+    config_overrides: Optional[Dict[str, object]] = None
+    seed_offset: int = 0
+    fn: str = SIMULATE
+    params: Optional[Dict[str, object]] = None
+
+
+def resolve_job_fn(spec: str) -> Callable:
+    """Import the ``"module:attr"`` callable a job names."""
+    module_name, _, attr = spec.partition(":")
+    if not module_name or not attr:
+        raise ValueError(f"job fn must be 'module:attr', got {spec!r}")
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def execute_job(settings: ExperimentSettings, job: SimJob):
+    """Run one job to completion in the current process."""
+    fn = resolve_job_fn(job.fn)
+    if job.fn == SIMULATE:
+        return fn(
+            settings,
+            job.benchmark,
+            job.allocated_fraction,
+            job.config_overrides,
+            job.seed_offset,
+        )
+    return fn(settings, job)
+
+
+def _timed_execute(settings: ExperimentSettings, job: SimJob):
+    """Worker entry point: result plus wall time and worker id."""
+    start = time.perf_counter()
+    result = execute_job(settings, job)
+    return result, time.perf_counter() - start, os.getpid()
+
+
+class Experiment:
+    """A registered experiment: ``plan``/``reduce`` or a legacy ``run``.
+
+    Calling the experiment directly (``REGISTRY[name](settings)``) runs
+    it serially with no cache — exactly the pre-engine behaviour — so
+    existing callers and tests are untouched.  The engine-aware paths
+    (:mod:`repro.api`, the CLI) construct a :class:`Runner` instead.
+    """
+
+    def __init__(
+        self,
+        experiment_id: str,
+        *,
+        plan: Optional[Callable[[ExperimentSettings], List[SimJob]]] = None,
+        reduce: Optional[Callable[[ExperimentSettings, list], ExperimentResult]] = None,
+        run: Optional[Callable[[ExperimentSettings], ExperimentResult]] = None,
+    ):
+        if run is None and (plan is None or reduce is None):
+            raise ValueError(
+                f"experiment {experiment_id!r} needs plan+reduce or a legacy run"
+            )
+        if run is not None and (plan is not None or reduce is not None):
+            raise ValueError(
+                f"experiment {experiment_id!r}: give plan+reduce or run, not both"
+            )
+        self.experiment_id = experiment_id
+        self.plan = plan
+        self.reduce = reduce
+        self.legacy_run = run
+
+    @property
+    def is_legacy(self) -> bool:
+        return self.legacy_run is not None
+
+    def __call__(
+        self, settings: Optional[ExperimentSettings] = None
+    ) -> ExperimentResult:
+        return Runner(jobs=1, cache=None).run_experiment(self, settings)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "legacy" if self.is_legacy else "plan/reduce"
+        return f"Experiment({self.experiment_id!r}, {kind})"
+
+
+@dataclass
+class RunnerStats:
+    """Aggregate counters over everything a runner executed."""
+
+    jobs: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    sim_seconds: float = 0.0
+
+    def merged_into_summary(self, elapsed_s: float) -> str:
+        parts = [
+            f"{self.jobs} jobs",
+            f"{self.cache_hits} cache hits",
+            f"{self.cache_misses} misses",
+            f"{self.sim_seconds:.1f}s simulated",
+            f"{elapsed_s:.1f}s elapsed",
+        ]
+        return ", ".join(parts)
+
+
+class Runner:
+    """Executes experiments: cache lookup, process fan-out, manifest.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for plan/reduce experiments.  ``None`` means
+        ``os.cpu_count()``; ``1`` runs everything in-process.
+    cache:
+        A :class:`ResultCache`, or ``None`` to disable caching.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+    ):
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        self.cache = cache
+        self.manifest: List[dict] = []
+        self.stats = RunnerStats()
+
+    # ------------------------------------------------------------------
+    def run_experiment(
+        self, experiment: Experiment, settings: Optional[ExperimentSettings] = None
+    ) -> ExperimentResult:
+        if settings is None:
+            settings = ExperimentSettings()
+        if experiment.is_legacy:
+            return self._run_legacy(experiment, settings)
+        jobs = experiment.plan(settings)
+        results = self.run_jobs(experiment.experiment_id, settings, jobs)
+        return experiment.reduce(settings, results)
+
+    # ------------------------------------------------------------------
+    def run_jobs(
+        self,
+        experiment_id: str,
+        settings: ExperimentSettings,
+        jobs: Sequence[SimJob],
+    ) -> list:
+        """Execute ``jobs``, returning results in plan order.
+
+        Identical jobs are computed once; cached results are served
+        without touching a worker.
+        """
+        keys = [
+            self.cache.job_key(settings, job) if self.cache else stable_digest(job)
+            for job in jobs
+        ]
+        results: Dict[str, object] = {}
+        hit_keys = set()
+        pending: Dict[str, SimJob] = {}
+        for job, key in zip(jobs, keys):
+            if key in results or key in pending:
+                continue
+            cached = self.cache.get(key) if self.cache else None
+            if cached is not None:
+                results[key] = cached
+                hit_keys.add(key)
+            else:
+                pending[key] = job
+
+        timings = self._execute_pending(settings, pending, results)
+
+        settings_digest = stable_digest(settings)
+        for index, (job, key) in enumerate(zip(jobs, keys)):
+            hit = key in hit_keys
+            wall_s, worker = timings.get(key, (0.0, None))
+            self._record(
+                experiment_id=experiment_id,
+                job_index=index,
+                fn=job.fn,
+                benchmark=job.benchmark,
+                allocated_fraction=job.allocated_fraction,
+                digest=key,
+                settings_digest=settings_digest,
+                cache_hit=hit,
+                wall_s=0.0 if hit else wall_s,
+                worker=worker,
+            )
+        return [results[key] for key in keys]
+
+    # ------------------------------------------------------------------
+    def _execute_pending(
+        self,
+        settings: ExperimentSettings,
+        pending: Dict[str, SimJob],
+        results: Dict[str, object],
+    ) -> Dict[str, tuple]:
+        """Run the cache misses, serially or over a process pool."""
+        timings: Dict[str, tuple] = {}
+        if not pending:
+            return timings
+        if self.jobs > 1 and len(pending) > 1:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_timed_execute, settings, job): key
+                    for key, job in pending.items()
+                }
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        key = futures[future]
+                        result, wall_s, worker = future.result()
+                        self._complete(key, result, wall_s, worker, results, timings)
+        else:
+            for key, job in pending.items():
+                result, wall_s, worker = _timed_execute(settings, job)
+                self._complete(key, result, wall_s, worker, results, timings)
+        return timings
+
+    def _complete(self, key, result, wall_s, worker, results, timings) -> None:
+        results[key] = result
+        timings[key] = (wall_s, worker)
+        if self.cache:
+            self.cache.put(key, result)
+
+    # ------------------------------------------------------------------
+    def _run_legacy(
+        self, experiment: Experiment, settings: ExperimentSettings
+    ) -> ExperimentResult:
+        """The unmigrated-``run()`` shim: whole-result caching, serial."""
+        key = (
+            self.cache.experiment_key(experiment.experiment_id, settings)
+            if self.cache
+            else None
+        )
+        cached = self.cache.get(key) if self.cache else None
+        if cached is not None:
+            self._record(
+                experiment_id=experiment.experiment_id,
+                job_index=0,
+                fn="legacy:run",
+                benchmark="",
+                allocated_fraction=1.0,
+                digest=key,
+                settings_digest=stable_digest(settings),
+                cache_hit=True,
+                wall_s=0.0,
+                worker=None,
+            )
+            return cached
+        start = time.perf_counter()
+        result = experiment.legacy_run(settings)
+        wall_s = time.perf_counter() - start
+        if self.cache:
+            self.cache.put(key, result)
+        self._record(
+            experiment_id=experiment.experiment_id,
+            job_index=0,
+            fn="legacy:run",
+            benchmark="",
+            allocated_fraction=1.0,
+            digest=key or "",
+            settings_digest=stable_digest(settings),
+            cache_hit=False,
+            wall_s=wall_s,
+            worker=os.getpid(),
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    def _record(self, *, cache_hit: bool, wall_s: float, **entry) -> None:
+        self.manifest.append(dict(entry, cache_hit=cache_hit, wall_s=round(wall_s, 4)))
+        self.stats.jobs += 1
+        if cache_hit:
+            self.stats.cache_hits += 1
+        else:
+            self.stats.cache_misses += 1
+            self.stats.sim_seconds += wall_s
+
+    def write_manifest(self, path) -> None:
+        """Append the collected manifest entries to ``path`` as JSONL."""
+        import json
+        from pathlib import Path
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a") as fh:
+            for entry in self.manifest:
+                fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    def summary(self, elapsed_s: float) -> str:
+        return self.stats.merged_into_summary(elapsed_s)
+
+
+def sweep_jobs(
+    settings: ExperimentSettings,
+    allocated_fraction: float = 1.0,
+    config_overrides: Optional[Dict[str, object]] = None,
+) -> List[SimJob]:
+    """Jobs equivalent to one :func:`~repro.experiments.runner.sweep_benchmarks`
+    call: one per benchmark, ``seed_offset`` equal to its suite index,
+    so migrated experiments reproduce the serial harness bit for bit.
+    """
+    return [
+        SimJob(
+            benchmark=name,
+            allocated_fraction=allocated_fraction,
+            config_overrides=config_overrides,
+            seed_offset=i,
+        )
+        for i, name in enumerate(settings.benchmarks)
+    ]

@@ -9,26 +9,34 @@ auto-refresh.  Paper averages: 0.629 / 0.54 / 0.43 / 0.17 normalised
 
 from __future__ import annotations
 
+from typing import List
+
 import numpy as np
 
-from repro.experiments.runner import (
-    ExperimentResult,
-    ExperimentSettings,
-    sweep_benchmarks,
-)
+from repro.experiments.engine import Experiment, SimJob, sweep_jobs
+from repro.experiments.runner import ExperimentResult, ExperimentSettings
 from repro.osmodel.scenarios import PAPER_SCENARIOS
 
 SCENARIO_ORDER = ("100%", "88%", "70%", "28%")
 PAPER_AVG_REDUCTION = {"100%": 0.371, "88%": 0.46, "70%": 0.57, "28%": 0.83}
 
 
-def run(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult:
-    per_scenario = {}
+def plan(settings: ExperimentSettings) -> List[SimJob]:
+    jobs = []
     for label in SCENARIO_ORDER:
         scenario = PAPER_SCENARIOS[label]
-        per_scenario[label] = sweep_benchmarks(
-            settings, allocated_fraction=scenario.allocated_fraction
+        jobs.extend(
+            sweep_jobs(settings, allocated_fraction=scenario.allocated_fraction)
         )
+    return jobs
+
+
+def reduce(settings: ExperimentSettings, results: list) -> ExperimentResult:
+    it = iter(results)
+    per_scenario = {
+        label: {name: next(it) for name in settings.benchmarks}
+        for label in SCENARIO_ORDER
+    }
     rows = []
     for name in settings.benchmarks:
         rows.append(
@@ -51,3 +59,10 @@ def run(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult
         paper_reference={f"avg@{s}": 1.0 - PAPER_AVG_REDUCTION[s]
                          for s in SCENARIO_ORDER},
     )
+
+
+EXPERIMENT = Experiment("fig14", plan=plan, reduce=reduce)
+
+
+def run(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult:
+    return EXPERIMENT(settings)

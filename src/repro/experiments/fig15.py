@@ -10,28 +10,35 @@ the overheads.
 
 from __future__ import annotations
 
+from typing import List
+
 import numpy as np
 
-from repro.experiments.runner import (
-    ExperimentResult,
-    ExperimentSettings,
-    sweep_benchmarks,
-)
+from repro.experiments.engine import Experiment, SimJob, sweep_jobs
+from repro.experiments.runner import ExperimentResult, ExperimentSettings
 from repro.osmodel.scenarios import PAPER_SCENARIOS
 
 SCENARIO_ORDER = ("100%", "88%", "70%", "28%")
 PAPER_AVG_REDUCTION = {"100%": 0.365, "88%": 0.44, "70%": 0.55, "28%": 0.82}
 
 
-def run(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult:
-    rows = []
-    per_scenario = {
-        label: sweep_benchmarks(
+def plan(settings: ExperimentSettings) -> List[SimJob]:
+    jobs = []
+    for label in SCENARIO_ORDER:
+        jobs.extend(sweep_jobs(
             settings,
             allocated_fraction=PAPER_SCENARIOS[label].allocated_fraction,
-        )
+        ))
+    return jobs
+
+
+def reduce(settings: ExperimentSettings, results: list) -> ExperimentResult:
+    it = iter(results)
+    per_scenario = {
+        label: {name: next(it) for name in settings.benchmarks}
         for label in SCENARIO_ORDER
     }
+    rows = []
     for name in settings.benchmarks:
         rows.append(
             [name] + [per_scenario[s][name].normalized_energy
@@ -54,3 +61,10 @@ def run(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult
                          for s in SCENARIO_ORDER},
         notes="energy reduction trails refresh reduction slightly (overheads)",
     )
+
+
+EXPERIMENT = Experiment("fig15", plan=plan, reduce=reduce)
+
+
+def run(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult:
+    return EXPERIMENT(settings)

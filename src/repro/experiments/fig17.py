@@ -8,21 +8,24 @@ refresh statistics into bank unavailability and IPC.
 
 from __future__ import annotations
 
+from typing import List
+
 import numpy as np
 
-from repro.experiments.runner import (
-    ExperimentResult,
-    ExperimentSettings,
-    sweep_benchmarks,
-)
+from repro.experiments.engine import Experiment, SimJob, sweep_jobs
+from repro.experiments.runner import ExperimentResult, ExperimentSettings
 
 
-def run(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult:
-    results = sweep_benchmarks(settings, allocated_fraction=1.0)
+def plan(settings: ExperimentSettings) -> List[SimJob]:
+    return sweep_jobs(settings, allocated_fraction=1.0)
+
+
+def reduce(settings: ExperimentSettings, results: list) -> ExperimentResult:
+    by_name = dict(zip(settings.benchmarks, results))
     rows = []
     gains = []
     for name in settings.benchmarks:
-        ipc = results[name].ipc
+        ipc = by_name[name].ipc
         rows.append([name, ipc.normalized_ipc, f"{ipc.speedup_percent:+.2f}%"])
         gains.append(ipc.speedup_percent)
     rows.append(["average", 1.0 + float(np.mean(gains)) / 100.0,
@@ -35,3 +38,10 @@ def run(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult
         paper_reference={"avg": "+5.7%", "max (gemsFDTD)": "+10.8%",
                          "min (gobmk)": "+0.3%"},
     )
+
+
+EXPERIMENT = Experiment("fig17", plan=plan, reduce=reduce)
+
+
+def run(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult:
+    return EXPERIMENT(settings)

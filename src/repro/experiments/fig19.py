@@ -17,19 +17,29 @@ paper's fixed benchmark does.
 
 from __future__ import annotations
 
+from typing import List, Tuple
+
 import numpy as np
 
 from repro.baselines.smart_refresh import SmartRefreshTracker
 from repro.core.zero_refresh import ZeroRefreshSystem
+from repro.experiments.engine import Experiment, SimJob
 from repro.experiments.runner import ExperimentResult, ExperimentSettings
-from repro.workloads.access import WorkingSetTraceGenerator
 from repro.workloads.benchmarks import benchmark_profile
 
 CAPACITIES_MB = (4, 8, 16, 32)  # stand-ins for 4/8/16/32 GB
 
+DEFAULT_BENCHMARK = "mcf"
 
-def run(settings: ExperimentSettings = ExperimentSettings(),
-        benchmark: str = "mcf") -> ExperimentResult:
+
+def capacity_point(settings: ExperimentSettings, job: SimJob) -> Tuple[float, float]:
+    """One capacity of the sweep: (smart refresh, zero-refresh) normalised.
+
+    Runs in engine workers; everything that determines the outcome is in
+    ``settings`` and ``job.params`` so the result is cacheable.
+    """
+    cap_mb = int(job.params["cap_mb"])
+    benchmark = str(job.params["benchmark"])
     profile = benchmark_profile(benchmark)
     smallest_pages = (CAPACITIES_MB[0] << 20) // 4096
     # mcf's per-window *touch* reach is huge (pointer chasing covers
@@ -39,47 +49,79 @@ def run(settings: ExperimentSettings = ExperimentSettings(),
     ws_pages_abs = int(0.55 * smallest_pages)
     accesses = ws_pages_abs * 6
     write_fraction = 0.08
-    rows = []
-    for cap_mb in CAPACITIES_MB:
-        from repro.core.config import SystemConfig
 
-        config = SystemConfig.scaled(
-            total_bytes=cap_mb << 20, temperature=settings.temperature,
-            seed=settings.seed, rows_per_ar=settings.rows_per_ar,
-        )
-        system = ZeroRefreshSystem(config)
-        total_pages = system.allocator.total_pages
-        system.populate(
-            profile,
-            allocated_fraction=1.0,
-            working_set_fraction=ws_pages_abs / total_pages,
-            accesses_per_window=accesses,
-            write_fraction=write_fraction,
-        )
-        result = system.run_windows(settings.windows)
+    from repro.core.config import SystemConfig
 
-        # Smart Refresh on the same machine and the same traffic.
-        tracker = SmartRefreshTracker(config.geometry)
-        generator = system._trace_generator
-        lines_per_page = config.geometry.lines_per_page
-        for _ in range(settings.windows):
-            trace = generator.window_trace()
-            pages = np.unique(trace.line_addrs // lines_per_page)
-            banks = pages % config.geometry.num_banks
-            bank_rows = pages // config.geometry.num_banks
-            tracker.note_accesses(banks, bank_rows)
-            tracker.run_window()
-        rows.append([
-            f"{cap_mb} GB" if cap_mb != CAPACITIES_MB[0] else f"{cap_mb} GB",
-            tracker.stats.normalized_refresh(),
-            result.normalized_refresh,
-        ])
+    config = SystemConfig.scaled(
+        total_bytes=cap_mb << 20, temperature=settings.temperature,
+        seed=settings.seed, rows_per_ar=settings.rows_per_ar,
+    )
+    system = ZeroRefreshSystem(config)
+    total_pages = system.allocator.total_pages
+    system.populate(
+        profile,
+        allocated_fraction=1.0,
+        working_set_fraction=ws_pages_abs / total_pages,
+        accesses_per_window=accesses,
+        write_fraction=write_fraction,
+    )
+    result = system.run_windows(settings.windows)
+
+    # Smart Refresh on the same machine and the same traffic.
+    tracker = SmartRefreshTracker(config.geometry)
+    generator = system._trace_generator
+    lines_per_page = config.geometry.lines_per_page
+    for _ in range(settings.windows):
+        trace = generator.window_trace()
+        pages = np.unique(trace.line_addrs // lines_per_page)
+        banks = pages % config.geometry.num_banks
+        bank_rows = pages // config.geometry.num_banks
+        tracker.note_accesses(banks, bank_rows)
+        tracker.run_window()
+    return tracker.stats.normalized_refresh(), result.normalized_refresh
+
+
+def plan(settings: ExperimentSettings) -> List[SimJob]:
+    return [
+        SimJob(
+            benchmark=DEFAULT_BENCHMARK,
+            fn="repro.experiments.fig19:capacity_point",
+            params={"cap_mb": cap_mb, "benchmark": DEFAULT_BENCHMARK},
+        )
+        for cap_mb in CAPACITIES_MB
+    ]
+
+
+def reduce(settings: ExperimentSettings, results: list) -> ExperimentResult:
+    rows = [
+        [f"{cap_mb} GB", smart, zero]
+        for cap_mb, (smart, zero) in zip(CAPACITIES_MB, results)
+    ]
     return ExperimentResult(
         experiment_id="fig19",
-        title=f"Smart Refresh vs ZERO-REFRESH scalability ({benchmark})",
+        title=f"Smart Refresh vs ZERO-REFRESH scalability ({DEFAULT_BENCHMARK})",
         headers=["capacity", "smart refresh", "zero-refresh"],
         rows=rows,
         paper_reference={"smart@4GB": 0.526, "smart@32GB": 0.941,
                          "zero-refresh": "~flat"},
         notes="capacities simulated at 1/1024 scale with a fixed working set",
     )
+
+
+EXPERIMENT = Experiment("fig19", plan=plan, reduce=reduce)
+
+
+def run(settings: ExperimentSettings = ExperimentSettings(),
+        benchmark: str = DEFAULT_BENCHMARK) -> ExperimentResult:
+    if benchmark == DEFAULT_BENCHMARK:
+        return EXPERIMENT(settings)
+    # Non-default benchmark: same sweep, computed directly.
+    jobs = [
+        SimJob(benchmark=benchmark, fn="repro.experiments.fig19:capacity_point",
+               params={"cap_mb": cap_mb, "benchmark": benchmark})
+        for cap_mb in CAPACITIES_MB
+    ]
+    results = [capacity_point(settings, job) for job in jobs]
+    result = reduce(settings, results)
+    result.title = f"Smart Refresh vs ZERO-REFRESH scalability ({benchmark})"
+    return result

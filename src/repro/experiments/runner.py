@@ -1,19 +1,22 @@
 """Shared experiment harness.
 
-Every experiment module exposes ``run(settings) -> ExperimentResult``;
-:class:`ExperimentSettings` fixes the simulation scale so the same code
-serves quick benchmark runs (small memory, few benchmarks) and full
-paper-scale sweeps.
+Experiment modules either describe their work to the engine as
+``plan(settings) -> list[SimJob]`` / ``reduce(settings, results)``
+(see :mod:`repro.experiments.engine`) or expose the legacy
+``run(settings) -> ExperimentResult``; :class:`ExperimentSettings`
+fixes the simulation scale so the same code serves quick benchmark
+runs (small memory, few benchmarks) and full paper-scale sweeps.
 
 :func:`simulate_benchmark` is the workhorse: one full ZERO-REFRESH
 simulation of a benchmark at an allocation level, returning the
 :class:`~repro.core.metrics.RunResult` the figure modules aggregate.
+It is the default job body the engine fans out over worker processes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import SystemConfig
 from repro.core.metrics import RunResult
@@ -103,6 +106,30 @@ class ExperimentResult:
         writer.writerow(self.headers)
         writer.writerows(self.rows)
         return buffer.getvalue()
+
+    def to_dict(self) -> Dict:
+        """Plain-python form of the result (JSON-able)."""
+
+        def plain(value):
+            if hasattr(value, "item"):  # numpy scalars
+                return value.item()
+            return value
+
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [[plain(v) for v in row] for row in self.rows],
+            "notes": self.notes,
+            "paper_reference": {k: plain(v)
+                                for k, v in self.paper_reference.items()},
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The result as a JSON document (machine-readable ``render``)."""
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent)
 
     def save_csv(self, path) -> None:
         from pathlib import Path

@@ -19,8 +19,8 @@ policies actually differ, exercised by the policy-comparison tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 

@@ -24,6 +24,7 @@ the stage-contribution and cell-type ablation experiments use.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -84,8 +85,10 @@ class ValueTransformCodec:
         num_chips: int = 8,
         word_bytes: int = 8,
         line_bytes: int = 64,
-        stages: StageSelection = StageSelection.full(),
+        stages: Optional[StageSelection] = None,
     ):
+        if stages is None:
+            stages = StageSelection.full()
         self.predictor = predictor
         self.stages = stages
         self.ebdi = EbdiCodec(word_bytes, line_bytes)

@@ -26,7 +26,7 @@ mixes classes, mirroring how multi-megabyte real segments behave.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 import numpy as np

@@ -1,7 +1,5 @@
 """Tests for SystemConfig (Table II) and its factories."""
 
-import pytest
-
 from repro.core.config import SystemConfig
 from repro.dram.timing import TemperatureMode
 from repro.transform.codec import StageSelection

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.config import SystemConfig
 from repro.core.multirank import MultiRankSystem
-from repro.core.zero_refresh import ZeroRefreshSystem
 from repro.workloads.benchmarks import benchmark_profile
 
 

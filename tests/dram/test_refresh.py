@@ -6,7 +6,6 @@ import pytest
 from repro.dram.device import DramDevice
 from repro.dram.geometry import DramGeometry
 from repro.dram.refresh import RefreshCounters, RefreshEngine, RefreshStats
-from repro.dram.timing import TimingParams
 from repro.transform.celltype import CellTypeLayout, CellTypePredictor
 from repro.transform.codec import ValueTransformCodec
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.dram.timing import TemperatureMode
-from repro.energy.dram_power import TRFC_BY_DENSITY_GBIT, DramPowerModel
+from repro.energy.dram_power import DramPowerModel
 
 
 @pytest.fixture

@@ -1,0 +1,15 @@
+"""Experiment-test fixtures.
+
+Points the engine's default cache at a per-test temporary directory so
+CLI invocations inside tests never write a ``.repro-cache`` into the
+working tree.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache_dir(tmp_path, monkeypatch):
+    cache_dir = tmp_path / "repro-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    return cache_dir

@@ -23,3 +23,51 @@ class TestCli:
     def test_tab01(self, capsys):
         assert main(["tab01", "--quick", "--seed", "3"]) == 0
         assert "bitbrains" in capsys.readouterr().out
+
+    def test_quick_help_matches_quick_settings(self, capsys):
+        from repro.experiments import ExperimentSettings
+
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        help_text = capsys.readouterr().out
+        mb = ExperimentSettings.quick().memory_bytes >> 20
+        assert f"{mb} MB" in help_text
+
+
+class TestEngineFlags:
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["sram", "--quick", "--json", "--no-cache"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["experiment_id"] == "sram"
+        assert parsed["headers"][0] == "design"
+
+    def test_csv_out(self, tmp_path, capsys):
+        out = tmp_path / "csv"
+        assert main(["sram", "--quick", "--no-cache",
+                     "--csv-out", str(out)]) == 0
+        assert (out / "sram.csv").read_text().startswith("design")
+
+    def test_cache_dir_and_manifest(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        args = ["sram", "--quick", "--cache-dir", str(cache_dir)]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert "0 cache hits" in first.err
+        assert main(args) == 0
+        second = capsys.readouterr()
+        assert "1 cache hits" in second.err
+        # results byte-identical between cold and warm runs
+        assert first.out == second.out
+        manifests = list((cache_dir / "manifests").glob("*.jsonl"))
+        assert manifests, "manifest JSONL not written"
+
+    def test_jobs_flag_serial_equivalence(self, tmp_path, capsys):
+        base = ["fig19", "--memory-mb", "4", "--windows", "1",
+                "--no-cache", "--cache-dir", str(tmp_path / "c")]
+        assert main(base + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel

@@ -52,6 +52,12 @@ class TestExamples:
         assert proc.returncode == 0, proc.stderr
         assert "suite average reduction" in proc.stdout
 
+    def test_paper_figures(self):
+        proc = run_example("paper_figures.py", "sram", "tab01", "--quick")
+        assert proc.returncode == 0, proc.stderr
+        assert "[sram]" in proc.stdout
+        assert "engine: 2 jobs" in proc.stdout
+
     @pytest.mark.slow
     def test_datacenter_provisioning(self):
         proc = run_example("datacenter_provisioning.py", timeout=600)

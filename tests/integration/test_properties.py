@@ -1,7 +1,6 @@
 """Cross-module property-based tests (hypothesis)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -9,7 +8,7 @@ from repro.controller.memctrl import MemoryController
 from repro.dram.device import DramDevice
 from repro.dram.geometry import DramGeometry
 from repro.transform.celltype import CellTypeLayout, CellTypePredictor
-from repro.transform.codec import StageSelection, ValueTransformCodec
+from repro.transform.codec import ValueTransformCodec
 
 
 def make_controller(row_bytes=4096, error_rate=0.0, seed=0):

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.workloads.benchmarks import (
-    BENCHMARK_NAMES,
     PROFILES,
     BenchmarkProfile,
     benchmark_profile,
