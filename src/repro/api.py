@@ -97,17 +97,29 @@ def run_experiment(
     cache: Union[bool, ResultCache] = True,
     cache_dir: Optional[os.PathLike] = None,
     runner: Optional[Runner] = None,
+    probes=None,
 ) -> ExperimentResult:
     """Run one experiment through the engine and return its result.
 
     Pass an explicit ``runner`` to share a cache/manifest across
     several calls (the CLI does this for ``all``); otherwise one is
     built from ``jobs``/``cache``/``cache_dir``.
+
+    ``probes`` installs a :class:`repro.obs.ProbeBus` for the run's
+    duration.  The bus is per-process, so an instrumented run without
+    an explicit ``runner`` executes in-process (``jobs=1``).
     """
     experiment = get_experiment(experiment_id)
     if runner is None:
+        if probes is not None:
+            jobs = 1
         runner = make_runner(jobs=jobs, cache=cache, cache_dir=cache_dir)
-    return runner.run_experiment(experiment, settings)
+    if probes is None:
+        return runner.run_experiment(experiment, settings)
+    from repro.obs import use_probes
+
+    with use_probes(probes):
+        return runner.run_experiment(experiment, settings)
 
 
 def run_all(
@@ -117,11 +129,15 @@ def run_all(
     cache: Union[bool, ResultCache] = True,
     cache_dir: Optional[os.PathLike] = None,
     runner: Optional[Runner] = None,
+    probes=None,
 ) -> Dict[str, ExperimentResult]:
     """Run every registered experiment; results keyed by id."""
     if runner is None:
+        if probes is not None:
+            jobs = 1
         runner = make_runner(jobs=jobs, cache=cache, cache_dir=cache_dir)
     return {
-        experiment_id: runner.run_experiment(REGISTRY[experiment_id], settings)
+        experiment_id: run_experiment(experiment_id, settings,
+                                      runner=runner, probes=probes)
         for experiment_id in REGISTRY
     }

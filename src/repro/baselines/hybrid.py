@@ -44,20 +44,26 @@ from repro.dram.tracking import TrackingCosts
 class HybridRefreshEngine(RefreshEngine):
     """ZERO-REFRESH engine augmented with Smart-Refresh recency skips."""
 
+    wants_access_events = True
+    """Recency skipping needs demand *reads* replayed as activations —
+    the capability drivers consult instead of probing for methods."""
+
     def __init__(self, device: DramDevice,
                  timing: Optional[TimingParams] = None,
-                 staggered: bool = True, policy: str = "per-bank"):
+                 staggered: bool = True, policy: str = "per-bank",
+                 probes=None):
         super().__init__(device, timing=timing, mode="zero-refresh",
-                         staggered=staggered, policy=policy)
+                         staggered=staggered, policy=policy, probes=probes)
         self._recency = np.zeros(
             (self.geometry.num_banks, self.geometry.rows_per_bank),
             dtype=np.int8,
         )
-        device.add_access_observer(self._note_access)
+        device.add_access_observer(self.note_access)
         self.recency_skips = 0
 
     # ------------------------------------------------------------------
-    def _note_access(self, bank: int, row: int) -> None:
+    def note_access(self, bank: int, row: int) -> None:
+        """An activation recharged this row; it may skip the next slot."""
         self._recency[bank, row] = 1
 
     @property
@@ -84,22 +90,37 @@ class HybridRefreshEngine(RefreshEngine):
             # cannot have their discharged status re-derived (they were
             # not opened by the refresh), so mark them conservatively.
             self.stats.dirty_ars += 1
+            self.probes.count("refresh.dirty_ars")
             refreshed = self._refresh_groups(bank, ar_set, ~recent, time_s)
             derived = self.derive_group_status(bank, ar_set)
             derived[recent] = False  # conservative: unknown -> charged
             self.status_table.write_vector(bank, ar_set, derived)
             self.stats.status_writes += 1
+            self.probes.count("refresh.status_writes")
+            if self.probes.tracing:
+                self.probes.event("refresh.status_renewal", bank=bank,
+                                  ar_set=ar_set, t=time_s,
+                                  discharged=int(derived.sum()))
             self.device.banks[bank].dirty[set_rows] = False
-            self.stats.groups_skipped += int(recent.sum())
-            self.recency_skips += int(recent.sum())
+            skipped = int(recent.sum())
+            self.stats.groups_skipped += skipped
+            self.probes.count("refresh.groups_skipped", skipped)
+            self.recency_skips += skipped
+            self.probes.count("refresh.recency_skips", skipped)
         else:
             self.stats.clean_ars += 1
+            self.probes.count("refresh.clean_ars")
             status = self.status_table.read_vector(bank, ar_set)
             self.stats.status_reads += 1
+            self.probes.count("refresh.status_reads")
             skip = status | recent
             refreshed = self._refresh_groups(bank, ar_set, ~skip, time_s)
-            self.stats.groups_skipped += int(skip.sum())
-            self.recency_skips += int((recent & ~status).sum())
+            skipped = int(skip.sum())
+            self.stats.groups_skipped += skipped
+            self.probes.count("refresh.groups_skipped", skipped)
+            recency_only = int((recent & ~status).sum())
+            self.recency_skips += recency_only
+            self.probes.count("refresh.recency_skips", recency_only)
         return refreshed
 
     # ------------------------------------------------------------------

@@ -101,6 +101,16 @@ class RaidrScheduler:
         return delta
 
     def run(self, n_windows: int, vrt: Optional[VrtProcess] = None) -> RaidrStats:
-        for _ in range(n_windows):
-            self.run_window(vrt)
+        """Drive ``n_windows`` base-period windows through the sim kernel.
+
+        Composition with the unified kernel keeps RAIDR on the same
+        timeline as every other scheme; the native :class:`RaidrStats`
+        (including VRT risk) accumulate on ``self.stats`` as before.
+        """
+        from repro.sim.kernel import SimKernel
+        from repro.sim.schemes import RaidrScheme
+
+        kernel = SimKernel(RaidrScheme(self, vrt=vrt),
+                           window_s=self.base_period_s, name="raidr")
+        kernel.run(n_windows)
         return self.stats

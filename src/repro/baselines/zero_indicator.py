@@ -48,15 +48,23 @@ class ZeroIndicatorScheme:
         segments = raw[:usable].reshape(-1, seg_bytes)
         return float((segments == 0).all(axis=1).mean())
 
-    def row_skip_fraction(self, page_lines: np.ndarray,
-                          lines_per_row: int = 64) -> float:
-        """Fraction of rows skippable at row-refresh granularity.
+    def row_skip_counts(self, page_lines: np.ndarray,
+                        lines_per_row: int = 64) -> "tuple[int, int]":
+        """``(skippable_rows, total_rows)`` at row-refresh granularity.
 
         Commodity DRAM refreshes whole rows, so a row is only skippable
         when *every* segment in it is zero — i.e. the raw row is all
         zero.  ``page_lines`` has shape (pages, lines_per_page, words).
+        The integer form feeds the per-window refresh accounting of
+        :class:`repro.sim.schemes.ZeroIndicatorRefreshScheme`.
         """
         flat = np.ascontiguousarray(page_lines).reshape(-1, 8)
         usable = (len(flat) // lines_per_row) * lines_per_row
         rows = flat[:usable].reshape(-1, lines_per_row * flat.shape[1])
-        return float((rows == 0).all(axis=1).mean())
+        return int((rows == 0).all(axis=1).sum()), len(rows)
+
+    def row_skip_fraction(self, page_lines: np.ndarray,
+                          lines_per_row: int = 64) -> float:
+        """Fraction of rows skippable at row-refresh granularity."""
+        skippable, total = self.row_skip_counts(page_lines, lines_per_row)
+        return skippable / total if total else 0.0

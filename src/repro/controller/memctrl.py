@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.controller.mapping import AddressMapper
 from repro.dram.device import DramDevice
+from repro.obs.probes import NULL_PROBES
 from repro.transform.codec import ValueTransformCodec
 
 
@@ -30,7 +31,7 @@ class MemoryController:
     """Front end combining the codec, the mapper and the device."""
 
     def __init__(self, device: DramDevice, codec: ValueTransformCodec,
-                 mapper: Optional[AddressMapper] = None):
+                 mapper: Optional[AddressMapper] = None, probes=None):
         geometry = device.geometry
         if codec.line_bytes != geometry.line_bytes:
             raise ValueError("codec and geometry disagree on line size")
@@ -40,6 +41,7 @@ class MemoryController:
         self.codec = codec
         self.geometry = geometry
         self.mapper = mapper or AddressMapper(geometry)
+        self.probes = probes if probes is not None else NULL_PROBES
         self.ebdi_ops = 0
         self.line_reads = 0
         self.line_writes = 0
@@ -59,6 +61,8 @@ class MemoryController:
                                chip_words, time_s)
         self.ebdi_ops += 1
         self.line_writes += 1
+        self.probes.count("ctrl.ebdi_ops")
+        self.probes.count("ctrl.line_writes")
 
     def read_line(self, line_addr: int, time_s: float = 0.0) -> np.ndarray:
         """Fetch and untransform one cacheline."""
@@ -67,6 +71,8 @@ class MemoryController:
                                            time_s)
         self.ebdi_ops += 1
         self.line_reads += 1
+        self.probes.count("ctrl.ebdi_ops")
+        self.probes.count("ctrl.line_reads")
         return self.codec.decode_row(chip_words[:, None, :], int(row))[0]
 
     def write_lines(self, line_addrs: np.ndarray, lines: np.ndarray,
@@ -115,6 +121,10 @@ class MemoryController:
                                    int(lines_in_row[i]), chip_words, time_s)
         self.ebdi_ops += len(line_addrs)
         self.line_writes += len(line_addrs)
+        self.probes.count("ctrl.ebdi_ops", len(line_addrs))
+        self.probes.count("ctrl.line_writes", len(line_addrs))
+        if self.probes.tracing:
+            self.probes.event("ctrl.write_batch", n=len(line_addrs), t=time_s)
 
     # ------------------------------------------------------------------
     # page interface (used by the OS model and workload population)
@@ -143,6 +153,8 @@ class MemoryController:
                                              chip_data, time_s)
         self.ebdi_ops += self.geometry.lines_per_page
         self.line_writes += self.geometry.lines_per_page
+        self.probes.count("ctrl.ebdi_ops", self.geometry.lines_per_page)
+        self.probes.count("ctrl.line_writes", self.geometry.lines_per_page)
 
     def read_page(self, page: int, time_s: float = 0.0) -> np.ndarray:
         banks, rows = self._page_location(page)
@@ -156,6 +168,8 @@ class MemoryController:
             parts.append(decoded)
         self.ebdi_ops += self.geometry.lines_per_page
         self.line_reads += self.geometry.lines_per_page
+        self.probes.count("ctrl.ebdi_ops", self.geometry.lines_per_page)
+        self.probes.count("ctrl.line_reads", self.geometry.lines_per_page)
         return np.concatenate(parts, axis=0)
 
     def _assemble_shared_rows(self, pages: np.ndarray, page_lines: np.ndarray):
@@ -233,3 +247,7 @@ class MemoryController:
         if notify:
             self.ebdi_ops += pages.size * self.geometry.lines_per_page
             self.line_writes += pages.size * self.geometry.lines_per_page
+            self.probes.count("ctrl.ebdi_ops",
+                              pages.size * self.geometry.lines_per_page)
+            self.probes.count("ctrl.line_writes",
+                              pages.size * self.geometry.lines_per_page)

@@ -6,15 +6,20 @@ controller schedules per-rank (or per-bank within rank) AR commands
 independently.  Nothing couples ranks in any mechanism this
 reproduction models, so a multi-rank DIMM is exactly a set of parallel
 single-rank systems with shared configuration and aggregated
-accounting.  :class:`MultiRankSystem` provides that aggregation:
+accounting.  :class:`MultiRankSystem` provides that aggregation as a
+*kernel composition*: each rank exposes its
+:class:`~repro.sim.kernel.SimKernel` and
+:func:`~repro.sim.kernel.run_concurrent` drives them in lockstep over
+the shared timeline — there is no second hand-rolled window loop.
 
 * population spreads the OS's allocated share across ranks (pages are
   rank-interleaved at the 64-page unit granularity in real systems;
   here each rank draws the same allocation fraction);
-* every rank runs the same number of retention windows;
-* refresh statistics, energy and IPC aggregate across ranks (IPC uses
-  the rank-average unavailability: a demand access is served by the
-  rank that owns its address).
+* every rank simulates the same retention windows, concurrently;
+* refresh statistics aggregate via the explicit non-mutating
+  :meth:`RefreshStats.aggregate_concurrent` (counters add, windows
+  overlap); energy sums and IPC uses the rank-average unavailability
+  (a demand access is served by the rank that owns its address).
 """
 
 from __future__ import annotations
@@ -27,19 +32,21 @@ from repro.core.metrics import RunResult
 from repro.core.zero_refresh import ZeroRefreshSystem
 from repro.dram.refresh import RefreshStats
 from repro.energy.accounting import EnergyReport
+from repro.sim.kernel import run_concurrent
 from repro.workloads.benchmarks import BenchmarkProfile
 
 
 class MultiRankSystem:
     """A DIMM of ``num_ranks`` independent single-rank systems."""
 
-    def __init__(self, config: SystemConfig, num_ranks: int = 2):
+    def __init__(self, config: SystemConfig, num_ranks: int = 2, probes=None):
         if num_ranks < 1:
             raise ValueError("need at least one rank")
         self.config = config
         self.num_ranks = num_ranks
         self.ranks: List[ZeroRefreshSystem] = [
-            ZeroRefreshSystem(replace(config, seed=config.seed + 1000 * r))
+            ZeroRefreshSystem(replace(config, seed=config.seed + 1000 * r),
+                              probes=probes)
             for r in range(num_ranks)
         ]
 
@@ -57,21 +64,20 @@ class MultiRankSystem:
 
     def run_windows(self, n_windows: int = 8,
                     warmup_windows: int = 1) -> RunResult:
-        """Run all ranks and aggregate their results.
+        """Run all ranks' kernels in lockstep and aggregate their results.
 
         The per-rank results of the latest call stay available as
         ``last_rank_results`` for rank-level inspection.
         """
-        results = [
-            rank.run_windows(n_windows, warmup_windows=warmup_windows)
-            for rank in self.ranks
-        ]
+        kernels = [rank.make_kernel(name=f"rank{i}")
+                   for i, rank in enumerate(self.ranks)]
+        run_concurrent(kernels, n_windows, warmup_windows=warmup_windows)
+        results = [rank.finalize_run(kernel)
+                   for rank, kernel in zip(self.ranks, kernels)]
         self.last_rank_results = results
-        refresh = RefreshStats()
-        for result in results:
-            refresh = refresh.merged_with(result.refresh)
-        # windows are concurrent across ranks, not sequential
-        refresh.windows = n_windows
+        refresh = RefreshStats.aggregate_concurrent(
+            [result.refresh for result in results], windows=n_windows
+        )
         energy = EnergyReport(
             refresh_nj=sum(r.energy.refresh_nj for r in results),
             ebdi_nj=sum(r.energy.ebdi_nj for r in results),

@@ -41,7 +41,9 @@ from repro.dram.geometry import DramGeometry
 from repro.dram.refresh import RefreshEngine, RefreshStats
 from repro.dram.retention import RetentionTracker
 from repro.energy.accounting import EnergyAccountant
+from repro.obs import get_probes
 from repro.osmodel.pages import PageAllocator
+from repro.sim.kernel import SimKernel
 from repro.transform.celltype import CellTypeLayout, CellTypePredictor
 from repro.transform.codec import ValueTransformCodec
 from repro.workloads.access import WorkingSetTraceGenerator
@@ -50,10 +52,17 @@ from repro.workloads.synthetic import generate_lines
 
 
 class ZeroRefreshSystem:
-    """End-to-end simulated system under one :class:`SystemConfig`."""
+    """End-to-end simulated system under one :class:`SystemConfig`.
 
-    def __init__(self, config: SystemConfig):
+    ``probes`` (a :class:`~repro.obs.probes.ProbeBus`) defaults to the
+    ambient bus installed by :func:`repro.obs.instrument`; it is wired
+    through the controller, the refresh engine, the energy accountant
+    and the simulation kernel.
+    """
+
+    def __init__(self, config: SystemConfig, probes=None):
         self.config = config
+        self.probes = probes if probes is not None else get_probes()
         geometry: DramGeometry = config.geometry
         self.rng = np.random.default_rng(config.seed)
         self.layout = CellTypeLayout(interleave=geometry.cell_interleave)
@@ -71,7 +80,8 @@ class ZeroRefreshSystem:
             line_bytes=geometry.line_bytes,
             stages=config.stages,
         )
-        self.controller = MemoryController(self.device, self.codec)
+        self.controller = MemoryController(self.device, self.codec,
+                                           probes=self.probes)
         if config.refresh_mode == "hybrid":
             from repro.baselines.hybrid import HybridRefreshEngine
 
@@ -80,6 +90,7 @@ class ZeroRefreshSystem:
                 timing=config.timing,
                 staggered=config.staggered_counters,
                 policy=config.refresh_policy,
+                probes=self.probes,
             )
         else:
             self.engine = RefreshEngine(
@@ -88,6 +99,7 @@ class ZeroRefreshSystem:
                 mode=config.refresh_mode,
                 staggered=config.staggered_counters,
                 policy=config.refresh_policy,
+                probes=self.probes,
             )
         self.allocator = PageAllocator(
             self.controller, policy=config.cleanse_policy, rng=self.rng
@@ -99,6 +111,7 @@ class ZeroRefreshSystem:
             geometry,
             config.timing,
             reference_geometry=DramGeometry.paper_config(),
+            probes=self.probes,
         )
         self.core_model = AnalyticalCoreModel(self.availability)
         # Hybrid recency skipping is only sound with a retention guard
@@ -133,6 +146,18 @@ class ZeroRefreshSystem:
         for :meth:`run_windows`; ``accesses_per_window`` defaults to a
         value proportional to the profile's MPKI.
         """
+        with self.probes.phase("populate"):
+            self._populate(profile, allocated_fraction, working_set_fraction,
+                           accesses_per_window, write_fraction)
+
+    def _populate(
+        self,
+        profile: BenchmarkProfile,
+        allocated_fraction: float,
+        working_set_fraction: float,
+        accesses_per_window: Optional[int],
+        write_fraction: float,
+    ) -> None:
         self.profile = profile
         pages = self._allocate_units(allocated_fraction)
         pages.sort()
@@ -252,22 +277,41 @@ class ZeroRefreshSystem:
         fast-forwarded simulations have already passed.  The result
         aggregates the ``n_windows`` measured windows (the paper uses 8:
         256 ms at the 32 ms extended rate).
+
+        The windows themselves are driven by the unified
+        :class:`~repro.sim.kernel.SimKernel`; this method is kernel
+        construction plus result finalisation.
         """
-        for _ in range(warmup_windows):
-            self.engine.run_window(self.time_s)
-            self.time_s += self.config.timing.tret_s
-        self.controller.ebdi_ops = 0
-        total = RefreshStats()
-        for _ in range(n_windows):
-            trace = (
-                self._trace_generator.window_trace()
-                if self._trace_generator is not None
-                else None
-            )
-            hook = self._make_write_hook(trace) if trace is not None else None
-            delta = self.engine.run_window(self.time_s, write_hook=hook)
-            total = total.merged_with(delta)
-            self.time_s += self.config.timing.tret_s
+        kernel = self.make_kernel()
+        kernel.run(n_windows, warmup_windows=warmup_windows)
+        return self.finalize_run(kernel, compute_ipc=compute_ipc)
+
+    def make_kernel(self, name: str = "") -> SimKernel:
+        """A :class:`~repro.sim.kernel.SimKernel` over this system's engine.
+
+        The kernel starts at the system's current simulated time and
+        feeds it this system's window traffic; compositions (multi-rank
+        DIMMs) drive several of these in lockstep and call
+        :meth:`finalize_run` per member.
+        """
+        return SimKernel(
+            self.engine,
+            self.config.timing.tret_s,
+            traffic=self._window_traffic,
+            on_measure_start=self._begin_measurement,
+            probes=self.probes,
+            start_time_s=self.time_s,
+            name=name or self.config.refresh_mode,
+        )
+
+    def finalize_run(self, kernel: SimKernel, compute_ipc: bool = True) -> RunResult:
+        """Fold a finished kernel run into this system's :class:`RunResult`.
+
+        Syncs the system clock to the kernel's and derives the energy
+        and IPC views from the measured stats.
+        """
+        self.time_s = kernel.time_s
+        total = kernel.stats
         energy = self.accountant.report(total, ebdi_ops=self.controller.ebdi_ops)
         ipc = None
         if compute_ipc and self.profile is not None:
@@ -280,19 +324,32 @@ class ZeroRefreshSystem:
             benchmark=self.profile.name if self.profile else "",
         )
 
-    def _make_write_hook(self, trace):
+    def _begin_measurement(self) -> None:
+        """Measurement boundary: EBDI ops count only measured windows."""
+        self.controller.ebdi_ops = 0
+
+    def _window_traffic(self, window_index: int, t0: float):
+        """Kernel traffic source: one window's trace as a write hook."""
+        if self._trace_generator is None:
+            return None
+        trace = self._trace_generator.window_trace()
+        if trace is None:
+            return None
+        return self._make_write_hook(trace, t0)
+
+    def _make_write_hook(self, trace, t0: float):
         """Spread a window's traffic uniformly between AR command slots.
 
         Writes go through the controller (new in-class values).  Reads
-        matter only to access-recency mechanisms: when the engine is
-        recency-aware (hybrid mode) they are applied as row activations
-        that recharge the row and feed the recency table.
+        matter only to access-recency mechanisms: when the engine
+        declares ``wants_access_events`` (hybrid mode) they are applied
+        as row activations that recharge the row and feed the recency
+        table.
         """
-        recency_aware = hasattr(self.engine, "_note_access")
+        recency_aware = self.engine.capabilities.wants_access_events
         writes = trace.writes
         reads = trace.reads if recency_aware else np.empty(0, dtype=np.int64)
         window = self.config.timing.tret_s
-        t0 = self.time_s
         wtimes = t0 + np.sort(self.rng.random(len(writes))) * window
         rtimes = t0 + np.sort(self.rng.random(len(reads))) * window
         state = {"w": 0, "r": 0}
@@ -327,7 +384,7 @@ class ZeroRefreshSystem:
                 bank.last_refresh[bank_rows], time_s
             )
             for row in bank_rows:
-                self.engine._note_access(int(bank_idx), int(row))
+                self.engine.note_access(int(bank_idx), int(row))
 
     def _as_words(self, lines: np.ndarray) -> np.ndarray:
         """Re-view 64-bit content in the configured word size.

@@ -38,7 +38,7 @@ access-bit protocol (the tracking ablation).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -50,6 +50,7 @@ from repro.dram.tracking import (
     DischargedStatusTable,
     NaiveSramTracker,
 )
+from repro.obs.probes import NULL_PROBES
 
 MODES = ("zero-refresh", "conventional", "naive")
 POLICIES = ("per-bank", "all-bank")
@@ -151,9 +152,38 @@ class RefreshStats:
             rank_busy_groups=self.rank_busy_groups + other.rank_busy_groups,
         )
 
+    @classmethod
+    def aggregate_concurrent(
+        cls, parts: "Sequence[RefreshStats]", windows: int
+    ) -> "RefreshStats":
+        """Merge stats of refresh domains that ran *simultaneously*.
+
+        Independent domains (DIMM ranks, channels) each simulate the
+        same retention windows in parallel, so their counters add but
+        their windows overlap: the aggregate covers ``windows`` windows
+        of wall time, not the concatenated sum ``merged_with`` would
+        report.  Returns a fresh instance; no input is mutated.
+        """
+        merged = cls()
+        for part in parts:
+            merged = merged.merged_with(part)
+        merged.windows = windows
+        return merged
+
 
 class RefreshEngine:
-    """Issues per-bank AR commands and applies charge-aware skipping."""
+    """Issues per-bank AR commands and applies charge-aware skipping.
+
+    The engine natively satisfies the :class:`repro.sim.scheme.RefreshScheme`
+    protocol: ``run_window`` is the scheme interface, and
+    :attr:`capabilities` declares what it needs from a driver.  Plain
+    charge-aware engines only observe *writes* (through the device's
+    write observers); subclasses that skip on access recency set
+    :attr:`wants_access_events` so drivers replay demand reads too.
+    """
+
+    wants_access_events = False
+    """Whether drivers must replay demand reads as row activations."""
 
     def __init__(
         self,
@@ -165,12 +195,14 @@ class RefreshEngine:
         access_bits: Optional[AccessBitTable] = None,
         status_table: Optional[DischargedStatusTable] = None,
         naive_tracker: Optional[NaiveSramTracker] = None,
+        probes=None,
     ):
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}")
         if policy not in POLICIES:
             raise ValueError(f"policy must be one of {POLICIES}")
         self.policy = policy
+        self.probes = probes if probes is not None else NULL_PROBES
         self.device = device
         self.geometry: DramGeometry = device.geometry
         self.timing = timing or TimingParams()
@@ -191,6 +223,14 @@ class RefreshEngine:
             self.access_bits = None
             self.status_table = None
             self.naive_tracker = None
+
+    # ------------------------------------------------------------------
+    @property
+    def capabilities(self):
+        """This engine's :class:`~repro.sim.scheme.SchemeCapabilities`."""
+        from repro.sim.scheme import SchemeCapabilities
+
+        return SchemeCapabilities(wants_access_events=self.wants_access_events)
 
     # ------------------------------------------------------------------
     def _naive_on_write(self, bank: int, row: int) -> None:
@@ -256,10 +296,16 @@ class RefreshEngine:
                 bank_obj.dirty[set_rows] = False
             group_status = self.naive_tracker.vector(bank, ar_set)
             refreshed = self._refresh_groups(bank, ar_set, ~group_status, time_s)
-            self.stats.groups_skipped += int(group_status.sum())
+            skipped = int(group_status.sum())
+            self.stats.groups_skipped += skipped
+            self.probes.count("refresh.groups_skipped", skipped)
         else:
             refreshed = self._process_zero_refresh(bank, ar_set, time_s)
         self.stats.ar_commands += 1
+        self.probes.count("refresh.ar_commands")
+        if self.probes.tracing:
+            self.probes.event("refresh.ar", bank=bank, ar_set=ar_set,
+                              t=time_s, refreshed=refreshed, mode=self.mode)
         if track_busy:
             self.stats.rank_busy_groups += refreshed
         return refreshed
@@ -275,20 +321,30 @@ class RefreshEngine:
         if dirty:
             # Dirty set: refresh everything, renew the status vector.
             self.stats.dirty_ars += 1
+            self.probes.count("refresh.dirty_ars")
             refreshed = self._refresh_groups(
                 bank, ar_set, np.ones(self.geometry.rows_per_ar, dtype=bool), time_s
             )
             status = self.derive_group_status(bank, ar_set)
             self.status_table.write_vector(bank, ar_set, status)
             self.stats.status_writes += 1
+            self.probes.count("refresh.status_writes")
+            if self.probes.tracing:
+                self.probes.event("refresh.status_renewal", bank=bank,
+                                  ar_set=ar_set, t=time_s,
+                                  discharged=int(status.sum()))
             self.device.banks[bank].dirty[set_rows] = False
         else:
             # Clean set: trust the stored vector, skip discharged groups.
             self.stats.clean_ars += 1
+            self.probes.count("refresh.clean_ars")
             status = self.status_table.read_vector(bank, ar_set)
             self.stats.status_reads += 1
+            self.probes.count("refresh.status_reads")
             refreshed = self._refresh_groups(bank, ar_set, ~status, time_s)
-            self.stats.groups_skipped += int(status.sum())
+            skipped = int(status.sum())
+            self.stats.groups_skipped += skipped
+            self.probes.count("refresh.groups_skipped", skipped)
         return refreshed
 
     def _refresh_groups(self, bank: int, ar_set: int, refresh_mask: np.ndarray,
@@ -305,6 +361,7 @@ class RefreshEngine:
             )
         refreshed = int(refresh_mask.sum())
         self.stats.groups_refreshed += refreshed
+        self.probes.count("refresh.groups_refreshed", refreshed)
         return refreshed
 
     # ------------------------------------------------------------------

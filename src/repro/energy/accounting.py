@@ -27,6 +27,7 @@ from repro.dram.refresh import RefreshStats
 from repro.dram.timing import TimingParams
 from repro.energy.dram_power import DramPowerModel
 from repro.energy.sram import SramModel
+from repro.obs.probes import NULL_PROBES
 
 EBDI_ENERGY_PJ = 15.0
 """Energy per EBDI encode/decode operation (paper Sec. VI-B, Vivado)."""
@@ -71,11 +72,13 @@ class EnergyAccountant:
         power_model: DramPowerModel = None,
         sram_model: SramModel = None,
         reference_geometry: DramGeometry = None,
+        probes=None,
     ):
         self.geometry = geometry
         self.timing = timing
         self.power = power_model or DramPowerModel(timing.currents)
         self.sram = sram_model or SramModel()
+        self.probes = probes if probes is not None else NULL_PROBES
         # Overhead structures are sized for the deployment-scale memory
         # (32 GB in the paper); a capacity-scaled simulation still pays
         # the scaled cost so the ratio stays faithful.
@@ -128,7 +131,7 @@ class EnergyAccountant:
         scale = self.geometry.total_bytes / self.reference_geometry.total_bytes
         sram_nj = leak_mw * scale * duration_s * 1e6  # mW * s = mJ -> nJ: *1e6
         status_nj = (stats.status_reads + stats.status_writes) * self.status_row_access_nj
-        return EnergyReport(
+        report = EnergyReport(
             refresh_nj=refresh_nj,
             ebdi_nj=ebdi_nj,
             sram_leakage_nj=sram_nj,
@@ -136,3 +139,14 @@ class EnergyAccountant:
             baseline_refresh_nj=baseline_nj,
             duration_s=duration_s,
         )
+        self.probes.count("energy.refresh_nj", report.refresh_nj)
+        self.probes.count("energy.overhead_nj", report.overhead_nj)
+        if self.probes.tracing:
+            self.probes.event(
+                "energy.report", duration_s=duration_s,
+                refresh_nj=report.refresh_nj, ebdi_nj=report.ebdi_nj,
+                sram_leakage_nj=report.sram_leakage_nj,
+                status_access_nj=report.status_access_nj,
+                baseline_refresh_nj=report.baseline_refresh_nj,
+            )
+        return report

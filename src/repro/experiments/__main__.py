@@ -56,7 +56,21 @@ def main(argv=None) -> int:
                         help="print results as JSON instead of tables")
     parser.add_argument("--csv-out", type=Path, default=None, metavar="DIR",
                         help="also write each result as DIR/<id>.csv")
+    parser.add_argument("--trace", type=Path, nargs="?", metavar="PATH",
+                        const=Path("repro-trace.jsonl"), default=None,
+                        help="write a JSONL probe event trace (default "
+                             "path: repro-trace.jsonl); implies --jobs 1")
+    parser.add_argument("--profile", action="store_true",
+                        help="collect per-phase wall times and probe "
+                             "counters, summarised on stderr; implies "
+                             "--jobs 1")
+    parser.add_argument("--bench-json", type=Path, default=None,
+                        metavar="PATH",
+                        help="with --profile: also write phase timings, "
+                             "counters and cache stats as JSON")
     args = parser.parse_args(argv)
+    if args.bench_json is not None and not args.profile:
+        parser.error("--bench-json requires --profile")
 
     settings = (api.quick_settings(seed=args.seed)
                 if args.quick else api.default_settings(seed=args.seed))
@@ -77,20 +91,36 @@ def main(argv=None) -> int:
     if args.csv_out is not None:
         args.csv_out.mkdir(parents=True, exist_ok=True)
 
-    runner = api.make_runner(jobs=args.jobs, cache=not args.no_cache,
+    instrumented = args.profile or args.trace is not None
+    bus = None
+    if instrumented:
+        from repro.obs import JsonlTraceSink, ProbeBus
+
+        sink = JsonlTraceSink(args.trace) if args.trace is not None else None
+        bus = ProbeBus(trace=sink)
+
+    # The probe bus is per-process: instrumented runs stay in-process.
+    jobs = 1 if instrumented else args.jobs
+    runner = api.make_runner(jobs=jobs, cache=not args.no_cache,
                              cache_dir=args.cache_dir)
-    # Tables/JSON go to stdout; timings and engine diagnostics go to
-    # stderr so repeated runs produce byte-identical result streams.
+    # Tables/JSON go to stdout; timings, profiles and engine diagnostics
+    # go to stderr so repeated runs produce byte-identical result
+    # streams — instrumented or not.
     run_start = time.time()
-    for name in names:
-        start = time.time()
-        result = api.run_experiment(name, settings, runner=runner)
-        print(result.to_json(indent=2) if args.json else result.render())
-        if not args.json:
-            print()
-        print(f"[{name}] {time.time() - start:.1f}s", file=sys.stderr)
-        if args.csv_out is not None:
-            result.save_csv(args.csv_out / f"{name}.csv")
+    try:
+        for name in names:
+            start = time.time()
+            result = api.run_experiment(name, settings, runner=runner,
+                                        probes=bus)
+            print(result.to_json(indent=2) if args.json else result.render())
+            if not args.json:
+                print()
+            print(f"[{name}] {time.time() - start:.1f}s", file=sys.stderr)
+            if args.csv_out is not None:
+                result.save_csv(args.csv_out / f"{name}.csv")
+    finally:
+        if bus is not None:
+            bus.close()
 
     elapsed = time.time() - run_start
     manifest_dir = (args.cache_dir or default_cache_dir()) / "manifests"
@@ -98,7 +128,38 @@ def main(argv=None) -> int:
     runner.write_manifest(manifest_path)
     print(f"engine: {runner.summary(elapsed)}", file=sys.stderr)
     print(f"manifest: {manifest_path}", file=sys.stderr)
+    if args.profile:
+        print(bus.profile_report(), file=sys.stderr)
+    if args.trace is not None:
+        print(f"trace: {args.trace} "
+              f"({bus.trace.events_written} events)", file=sys.stderr)
+    if args.bench_json is not None:
+        write_bench_json(args.bench_json, bus, runner, elapsed)
+        print(f"bench: {args.bench_json}", file=sys.stderr)
     return 0
+
+
+def write_bench_json(path: Path, bus, runner, elapsed_s: float) -> None:
+    """Write the benchmark-smoke artifact: phase timings, probe
+    counters and engine cache statistics (the CI ``BENCH_sim.json``)."""
+    import json
+
+    stats = runner.stats
+    looked_up = stats.cache_hits + stats.cache_misses
+    payload = {
+        "elapsed_s": round(elapsed_s, 3),
+        **bus.snapshot(),
+        "engine": {
+            "jobs": stats.jobs,
+            "cache_hits": stats.cache_hits,
+            "cache_misses": stats.cache_misses,
+            "cache_hit_rate": (round(stats.cache_hits / looked_up, 4)
+                               if looked_up else None),
+            "sim_seconds": round(stats.sim_seconds, 3),
+        },
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 if __name__ == "__main__":

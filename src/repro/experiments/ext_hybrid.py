@@ -12,13 +12,13 @@ cells); see :mod:`repro.baselines.hybrid`.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.baselines.smart_refresh import SmartRefreshTracker
 from repro.core.config import SystemConfig
 from repro.core.zero_refresh import ZeroRefreshSystem
-from repro.experiments.fig19 import CAPACITIES_MB
+from repro.experiments.fig19 import CAPACITIES_MB, smart_refresh_feed
 from repro.experiments.runner import ExperimentResult, ExperimentSettings
+from repro.sim.kernel import SimKernel
+from repro.sim.schemes import SmartRefreshScheme
 from repro.workloads.benchmarks import benchmark_profile
 
 
@@ -46,16 +46,15 @@ def run(settings: ExperimentSettings = ExperimentSettings(),
             )
             result = system.run_windows(settings.windows)
             if mode == "zero-refresh":
-                # Smart Refresh on the same machine/traffic for context.
+                # Smart Refresh on the same machine/traffic for context,
+                # driven through the shared kernel.
                 tracker = SmartRefreshTracker(config.geometry)
-                generator = system._trace_generator
-                lpp = config.geometry.lines_per_page
-                for _ in range(settings.windows):
-                    trace = generator.window_trace()
-                    pages = np.unique(trace.line_addrs // lpp)
-                    tracker.note_accesses(pages % config.geometry.num_banks,
-                                          pages // config.geometry.num_banks)
-                    tracker.run_window()
+                kernel = SimKernel(
+                    SmartRefreshScheme(tracker,
+                                       smart_refresh_feed(system, config)),
+                    window_s=config.timing.tret_s, name="smart-refresh",
+                )
+                kernel.run(settings.windows)
                 smart_norm = tracker.stats.normalized_refresh()
             row.append(result.normalized_refresh)
         row.insert(1, smart_norm)

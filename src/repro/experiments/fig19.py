@@ -25,6 +25,8 @@ from repro.baselines.smart_refresh import SmartRefreshTracker
 from repro.core.zero_refresh import ZeroRefreshSystem
 from repro.experiments.engine import Experiment, SimJob
 from repro.experiments.runner import ExperimentResult, ExperimentSettings
+from repro.sim.kernel import SimKernel
+from repro.sim.schemes import AccessFeed, SmartRefreshScheme
 from repro.workloads.benchmarks import benchmark_profile
 
 CAPACITIES_MB = (4, 8, 16, 32)  # stand-ins for 4/8/16/32 GB
@@ -67,18 +69,29 @@ def capacity_point(settings: ExperimentSettings, job: SimJob) -> Tuple[float, fl
     )
     result = system.run_windows(settings.windows)
 
-    # Smart Refresh on the same machine and the same traffic.
+    # Smart Refresh on the same machine and the same traffic, driven
+    # through the same kernel as every other scheme.
     tracker = SmartRefreshTracker(config.geometry)
+    kernel = SimKernel(
+        SmartRefreshScheme(tracker, smart_refresh_feed(system, config)),
+        window_s=config.timing.tret_s, name="smart-refresh",
+    )
+    kernel.run(settings.windows)
+    return tracker.stats.normalized_refresh(), result.normalized_refresh
+
+
+def smart_refresh_feed(system: ZeroRefreshSystem, config) -> "AccessFeed":
+    """Per-window (banks, rows) touched, from the system's trace stream."""
     generator = system._trace_generator
     lines_per_page = config.geometry.lines_per_page
-    for _ in range(settings.windows):
+    num_banks = config.geometry.num_banks
+
+    def feed():
         trace = generator.window_trace()
         pages = np.unique(trace.line_addrs // lines_per_page)
-        banks = pages % config.geometry.num_banks
-        bank_rows = pages // config.geometry.num_banks
-        tracker.note_accesses(banks, bank_rows)
-        tracker.run_window()
-    return tracker.stats.normalized_refresh(), result.normalized_refresh
+        return pages % num_banks, pages // num_banks
+
+    return feed
 
 
 def plan(settings: ExperimentSettings) -> List[SimJob]:

@@ -1,0 +1,69 @@
+"""Observability: the probe bus and its process-wide activation.
+
+Components accept a ``probes`` argument and default to the ambient bus,
+so instrumentation normally flows in one of two ways:
+
+* explicitly — build a :class:`ProbeBus` and hand it to
+  :class:`~repro.core.zero_refresh.ZeroRefreshSystem` (or
+  ``repro.api.run_experiment(probes=...)``);
+* ambiently — ``with repro.obs.instrument(trace="run.jsonl") as bus:``
+  installs the bus as the process default picked up by every system
+  constructed inside the block (what the ``--trace``/``--profile`` CLI
+  flags do).
+
+The ambient bus is per-process: engine worker processes do not inherit
+it, so instrumented experiment runs execute with ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+from repro.obs.probes import NULL_PROBES, JsonlTraceSink, ProbeBus
+
+__all__ = [
+    "JsonlTraceSink",
+    "NULL_PROBES",
+    "ProbeBus",
+    "get_probes",
+    "instrument",
+    "use_probes",
+]
+
+_ACTIVE: Optional[ProbeBus] = None
+
+
+def get_probes():
+    """The ambient bus, or :data:`NULL_PROBES` when none is installed."""
+    return _ACTIVE if _ACTIVE is not None else NULL_PROBES
+
+
+@contextmanager
+def use_probes(bus: ProbeBus) -> Iterator[ProbeBus]:
+    """Install ``bus`` as the ambient probe bus for the block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = bus
+    try:
+        yield bus
+    finally:
+        _ACTIVE = previous
+
+
+@contextmanager
+def instrument(trace: Optional[Union[str, object]] = None) -> Iterator[ProbeBus]:
+    """Build, install and (on exit) close an instrumentation bus.
+
+    ``trace`` may be a path or open file for the JSONL event stream;
+    ``None`` keeps counters and phase timings without event output.
+    """
+    sink = None
+    if trace is not None:
+        sink = trace if isinstance(trace, JsonlTraceSink) else JsonlTraceSink(trace)
+    bus = ProbeBus(trace=sink)
+    try:
+        with use_probes(bus):
+            yield bus
+    finally:
+        bus.close()

@@ -1,0 +1,156 @@
+"""Probe bus: named counters, phase wall-time profiling, JSONL tracing.
+
+Instrumentation in this codebase is *observational by construction*: a
+:class:`ProbeBus` only ever records what the simulation tells it and
+never draws randomness or feeds values back, so an instrumented run is
+bit-identical to an uninstrumented one (a property the parity tests
+assert).  Components take a bus at construction time and default to
+:data:`NULL_PROBES`, a no-op singleton cheap enough to leave the calls
+in hot paths.
+
+Three facilities share the bus:
+
+* **counters** — ``bus.count("refresh.groups_skipped", n)``; dotted
+  names, ``<subsystem>.<quantity>``, accumulated over the bus lifetime;
+* **phases** — ``with bus.phase("measure"): ...`` accumulates wall time
+  per phase name (the ``--profile`` CLI view and the CI benchmark
+  artifact);
+* **events** — ``bus.event("refresh.ar", bank=0, ...)`` appends one
+  JSON line to the attached :class:`JsonlTraceSink` (the ``--trace``
+  stream).  Events carry *simulated* time where available, never wall
+  time, so traces are deterministic; a monotone ``seq`` field orders
+  them.  Guard construction of expensive event payloads with
+  ``bus.tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, Optional, TextIO, Union
+
+
+class JsonlTraceSink:
+    """Writes probe events as JSON lines to a path or open file."""
+
+    def __init__(self, target: Union[str, Path, TextIO]):
+        if hasattr(target, "write"):
+            self._fh: TextIO = target
+            self._owns = False
+            self.path: Optional[Path] = None
+        else:
+            self.path = Path(target)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("w")
+            self._owns = True
+        self.events_written = 0
+
+    def emit(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+
+class ProbeBus:
+    """Collects counters, per-phase wall times and optional trace events."""
+
+    enabled = True
+
+    def __init__(self, trace: Optional[JsonlTraceSink] = None):
+        self.counters: Dict[str, float] = {}
+        self.wall_times: Dict[str, float] = {}
+        self.trace = trace
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def tracing(self) -> bool:
+        """True when events reach a sink — gate costly payload building."""
+        return self.trace is not None
+
+    def count(self, name: str, n: Union[int, float] = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def event(self, name: str, **fields) -> None:
+        if self.trace is None:
+            return
+        record = dict(fields, event=name, seq=self._seq)
+        self._seq += 1
+        self.trace.emit(record)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Accumulate the wall time spent inside the block under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.wall_times[name] = self.wall_times.get(name, 0.0) + elapsed
+
+    # ------------------------------------------------------------------
+    def profile_report(self) -> str:
+        """One-line per-phase timing summary (the ``--profile`` output)."""
+        if not self.wall_times:
+            return "profile: no phases recorded"
+        parts = [f"{name} {seconds:.3f}s"
+                 for name, seconds in sorted(self.wall_times.items())]
+        return "profile: " + ", ".join(parts)
+
+    def snapshot(self) -> dict:
+        """JSON-able state: counters, phase wall times, trace volume."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "phases": {k: round(v, 6)
+                       for k, v in sorted(self.wall_times.items())},
+            "events": self.trace.events_written if self.trace else 0,
+        }
+
+    def close(self) -> None:
+        if self.trace is not None:
+            self.trace.close()
+
+
+class _NullProbes:
+    """No-op bus: the default wired into every component.
+
+    Must stay allocation-free on the hot paths — ``phase`` reuses one
+    shared context manager and the other methods return immediately.
+    """
+
+    enabled = False
+    tracing = False
+    counters: Dict[str, float] = {}
+    wall_times: Dict[str, float] = {}
+
+    def count(self, name: str, n: Union[int, float] = 1) -> None:
+        pass
+
+    def event(self, name: str, **fields) -> None:
+        pass
+
+    @contextmanager
+    def _null_phase(self) -> Iterator[None]:
+        yield
+
+    def phase(self, name: str):
+        return self._null_phase()
+
+    def profile_report(self) -> str:
+        return "profile: disabled"
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "phases": {}, "events": 0}
+
+    def close(self) -> None:
+        pass
+
+
+NULL_PROBES = _NullProbes()
+"""Shared no-op bus; safe to pass anywhere a :class:`ProbeBus` fits."""

@@ -71,3 +71,50 @@ class TestEngineFlags:
         assert main(base + ["--jobs", "2"]) == 0
         parallel = capsys.readouterr().out
         assert serial == parallel
+
+
+class TestInstrumentationFlags:
+    # ext-vrt is the cheapest experiment that actually simulates
+    # retention windows (so phases and sim.* probes are exercised).
+    BASE = ["ext-vrt", "--quick", "--no-cache"]
+
+    def test_profile_reports_phases_without_changing_stdout(self, capsys):
+        assert main(self.BASE) == 0
+        plain = capsys.readouterr()
+        assert main(self.BASE + ["--profile"]) == 0
+        profiled = capsys.readouterr()
+        assert profiled.out == plain.out
+        assert "profile:" in profiled.err
+        assert "measure" in profiled.err
+
+    def test_trace_writes_jsonl(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(self.BASE + ["--trace", str(trace)]) == 0
+        err = capsys.readouterr().err
+        assert f"trace: {trace}" in err
+        events = [json.loads(line)
+                  for line in trace.read_text().splitlines()]
+        assert events, "no probe events written"
+        assert all("event" in rec and "seq" in rec for rec in events)
+        assert [rec["seq"] for rec in events] == list(range(len(events)))
+        assert any(rec["event"] == "sim.window" for rec in events)
+
+    def test_bench_json(self, tmp_path, capsys):
+        import json
+
+        bench = tmp_path / "BENCH_sim.json"
+        assert main(self.BASE + ["--profile",
+                                 "--bench-json", str(bench)]) == 0
+        payload = json.loads(bench.read_text())
+        assert "measure" in payload["phases"]
+        assert payload["counters"]["sim.windows"] >= 1
+        assert {"cache_hits", "cache_misses",
+                "cache_hit_rate"} <= payload["engine"].keys()
+
+    def test_bench_json_requires_profile(self, tmp_path):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(self.BASE + ["--bench-json", str(tmp_path / "b.json")])

@@ -1,0 +1,127 @@
+"""Tests for the probe bus and its process-wide activation."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_PROBES,
+    JsonlTraceSink,
+    ProbeBus,
+    get_probes,
+    instrument,
+    use_probes,
+)
+
+
+class TestCounters:
+    def test_accumulate(self):
+        bus = ProbeBus()
+        bus.count("refresh.ar_commands")
+        bus.count("refresh.ar_commands", 3)
+        bus.count("energy.refresh_nj", 2.5)
+        assert bus.counters == {"refresh.ar_commands": 4,
+                                "energy.refresh_nj": 2.5}
+
+    def test_snapshot_sorted(self):
+        bus = ProbeBus()
+        bus.count("b.two")
+        bus.count("a.one")
+        snap = bus.snapshot()
+        assert list(snap["counters"]) == ["a.one", "b.two"]
+        assert snap["events"] == 0
+
+
+class TestPhases:
+    def test_wall_time_accumulates_per_name(self):
+        bus = ProbeBus()
+        with bus.phase("measure"):
+            pass
+        with bus.phase("measure"):
+            pass
+        with bus.phase("populate"):
+            pass
+        assert set(bus.wall_times) == {"measure", "populate"}
+        assert bus.wall_times["measure"] >= 0.0
+
+    def test_accumulates_on_exception(self):
+        bus = ProbeBus()
+        with pytest.raises(RuntimeError):
+            with bus.phase("measure"):
+                raise RuntimeError
+        assert "measure" in bus.wall_times
+
+    def test_profile_report(self):
+        bus = ProbeBus()
+        assert bus.profile_report() == "profile: no phases recorded"
+        with bus.phase("measure"):
+            pass
+        assert bus.profile_report().startswith("profile: measure ")
+
+
+class TestTrace:
+    def test_events_only_reach_an_attached_sink(self):
+        bus = ProbeBus()
+        assert not bus.tracing
+        bus.event("refresh.ar", bank=0)  # silently dropped
+
+        buffer = io.StringIO()
+        bus = ProbeBus(trace=JsonlTraceSink(buffer))
+        assert bus.tracing
+        bus.event("refresh.ar", bank=0, t=0.064)
+        bus.event("refresh.ar", bank=1, t=0.064)
+        lines = [json.loads(line) for line in
+                 buffer.getvalue().strip().splitlines()]
+        assert [rec["seq"] for rec in lines] == [0, 1]
+        assert lines[0] == {"bank": 0, "event": "refresh.ar",
+                            "seq": 0, "t": 0.064}
+
+    def test_sink_writes_file_and_counts(self, tmp_path):
+        path = tmp_path / "trace" / "run.jsonl"
+        sink = JsonlTraceSink(path)
+        bus = ProbeBus(trace=sink)
+        bus.event("sim.window", index=0)
+        bus.close()
+        assert sink.events_written == 1
+        assert json.loads(path.read_text())["event"] == "sim.window"
+
+
+class TestNullProbes:
+    def test_noop_everything(self):
+        NULL_PROBES.count("x", 5)
+        NULL_PROBES.event("x", a=1)
+        with NULL_PROBES.phase("measure"):
+            pass
+        assert NULL_PROBES.counters == {}
+        assert NULL_PROBES.wall_times == {}
+        assert not NULL_PROBES.tracing
+        assert NULL_PROBES.snapshot()["counters"] == {}
+
+
+class TestAmbientBus:
+    def test_default_is_null(self):
+        assert get_probes() is NULL_PROBES
+
+    def test_use_probes_installs_and_restores(self):
+        outer, inner = ProbeBus(), ProbeBus()
+        with use_probes(outer):
+            assert get_probes() is outer
+            with use_probes(inner):
+                assert get_probes() is inner
+            assert get_probes() is outer
+        assert get_probes() is NULL_PROBES
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_probes(ProbeBus()):
+                raise RuntimeError
+        assert get_probes() is NULL_PROBES
+
+    def test_instrument_builds_installs_closes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with instrument(trace=path) as bus:
+            assert get_probes() is bus
+            bus.event("sim.window", index=0)
+        assert get_probes() is NULL_PROBES
+        assert path.read_text().count("\n") == 1

@@ -1,0 +1,107 @@
+"""Regenerate ``golden_parity.json`` for the kernel parity tests.
+
+The recorded values were produced by the *pre-kernel* per-scheme loops
+(``ZeroRefreshSystem.run_windows``, the Fig. 19 Smart Refresh loop,
+``RaidrScheduler.run``, ``MultiRankSystem.run_windows``) on the seed
+quick config.  ``tests/sim/test_parity.py`` asserts the unified
+:class:`repro.sim.SimKernel` reproduces them bit for bit.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/sim/make_goldens.py
+
+Only rerun this after an *intentional* change to simulation semantics;
+a diff in the output is exactly what the parity tests exist to catch.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+GOLDEN_PATH = Path(__file__).parent / "golden_parity.json"
+
+
+def zero_refresh_golden(settings):
+    from repro.experiments.runner import simulate_benchmark
+
+    return simulate_benchmark(settings, "mcf", 0.7).to_dict()
+
+
+def hybrid_golden(settings):
+    from repro.experiments.runner import simulate_benchmark
+
+    return simulate_benchmark(
+        settings, "mcf", 0.7, config_overrides={"refresh_mode": "hybrid"}
+    ).to_dict()
+
+
+def smart_refresh_golden(settings):
+    from repro.experiments.engine import SimJob
+    from repro.experiments.fig19 import capacity_point
+
+    job = SimJob(benchmark="mcf", fn="repro.experiments.fig19:capacity_point",
+                 params={"cap_mb": 4, "benchmark": "mcf"})
+    smart, zero = capacity_point(settings, job)
+    return {"smart_normalized": smart, "zero_normalized": zero}
+
+
+def raidr_golden(settings):
+    from repro.baselines.raidr import RaidrScheduler
+    from repro.dram.variation import RetentionProfile, VrtProcess
+
+    rng = np.random.default_rng(settings.seed)
+    profile = RetentionProfile.sample(4096, rng=rng)
+    scheduler = RaidrScheduler(profile)
+    vrt = VrtProcess(profile, flips_per_row_per_hour=0.02, rng=rng)
+    stats = scheduler.run(8, vrt=vrt)
+    return asdict(stats)
+
+
+def zero_indicator_golden(settings):
+    from repro.baselines.zero_indicator import ZeroIndicatorScheme
+    from repro.workloads.benchmarks import benchmark_profile
+
+    rng = np.random.default_rng(settings.seed)
+    pages = benchmark_profile("mcf").generate_pages(64, rng, 64)
+    scheme = ZeroIndicatorScheme()
+    return {
+        "row_skip_fraction": scheme.row_skip_fraction(pages),
+        "segment_zero_fraction": scheme.segment_zero_fraction(pages),
+    }
+
+
+def multirank_golden(settings):
+    from repro.core.multirank import MultiRankSystem
+    from repro.workloads.benchmarks import benchmark_profile
+
+    dimm = MultiRankSystem(settings.config(), num_ranks=2)
+    dimm.populate(benchmark_profile("mcf"), allocated_fraction=0.7)
+    return dimm.run_windows(2).to_dict()
+
+
+def main() -> None:
+    from repro.experiments.runner import ExperimentSettings
+
+    settings = ExperimentSettings.quick()
+    goldens = {
+        "settings": {"quick": True, "seed": settings.seed,
+                     "windows": settings.windows,
+                     "memory_bytes": settings.memory_bytes,
+                     "rows_per_ar": settings.rows_per_ar},
+        "zero_refresh": zero_refresh_golden(settings),
+        "hybrid": hybrid_golden(settings),
+        "smart_refresh": smart_refresh_golden(settings),
+        "raidr": raidr_golden(settings),
+        "zero_indicator": zero_indicator_golden(settings),
+        "multirank": multirank_golden(settings),
+    }
+    GOLDEN_PATH.write_text(json.dumps(goldens, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()
