@@ -74,11 +74,14 @@ def make_runner(
     jobs: Optional[int] = None,
     cache: Union[bool, ResultCache] = True,
     cache_dir: Optional[os.PathLike] = None,
+    watchdog: bool = False,
 ) -> Runner:
     """A configured engine :class:`Runner`.
 
     ``jobs=None`` uses every core; ``cache`` accepts ``True`` (default
     location), ``False`` (no caching) or a ready :class:`ResultCache`.
+    ``watchdog=True`` runs every job under an invariant watchdog whose
+    findings land in the runner's metrics manifest.
     """
     if isinstance(cache, ResultCache):
         store = cache
@@ -86,7 +89,7 @@ def make_runner(
         store = ResultCache(cache_dir)
     else:
         store = None
-    return Runner(jobs=jobs, cache=store)
+    return Runner(jobs=jobs, cache=store, watchdog=watchdog)
 
 
 def run_experiment(
@@ -98,22 +101,26 @@ def run_experiment(
     cache_dir: Optional[os.PathLike] = None,
     runner: Optional[Runner] = None,
     probes=None,
+    watchdog: bool = False,
 ) -> ExperimentResult:
     """Run one experiment through the engine and return its result.
 
     Pass an explicit ``runner`` to share a cache/manifest across
     several calls (the CLI does this for ``all``); otherwise one is
-    built from ``jobs``/``cache``/``cache_dir``.
+    built from ``jobs``/``cache``/``cache_dir``/``watchdog``.
 
     ``probes`` installs a :class:`repro.obs.ProbeBus` for the run's
     duration.  The bus is per-process, so an instrumented run without
-    an explicit ``runner`` executes in-process (``jobs=1``).
+    an explicit ``runner`` executes in-process (``jobs=1``); per-job
+    metric snapshots survive fan-out either way (see
+    ``Runner.metrics_manifest``).
     """
     experiment = get_experiment(experiment_id)
     if runner is None:
         if probes is not None:
             jobs = 1
-        runner = make_runner(jobs=jobs, cache=cache, cache_dir=cache_dir)
+        runner = make_runner(jobs=jobs, cache=cache, cache_dir=cache_dir,
+                             watchdog=watchdog)
     if probes is None:
         return runner.run_experiment(experiment, settings)
     from repro.obs import use_probes
@@ -130,12 +137,14 @@ def run_all(
     cache_dir: Optional[os.PathLike] = None,
     runner: Optional[Runner] = None,
     probes=None,
+    watchdog: bool = False,
 ) -> Dict[str, ExperimentResult]:
     """Run every registered experiment; results keyed by id."""
     if runner is None:
         if probes is not None:
             jobs = 1
-        runner = make_runner(jobs=jobs, cache=cache, cache_dir=cache_dir)
+        runner = make_runner(jobs=jobs, cache=cache, cache_dir=cache_dir,
+                             watchdog=watchdog)
     return {
         experiment_id: run_experiment(experiment_id, settings,
                                       runner=runner, probes=probes)

@@ -121,6 +121,12 @@ class HybridRefreshEngine(RefreshEngine):
             recency_only = int((recent & ~status).sum())
             self.recency_skips += recency_only
             self.probes.count("refresh.recency_skips", recency_only)
+            if self.watchdog.enabled:
+                # recency skips are covered by the retention guard band,
+                # not the status table; only status-marked skips must
+                # match the detector truth
+                self._watchdog_clean_skip(bank, ar_set, status, ~skip,
+                                          time_s)
         return refreshed
 
     # ------------------------------------------------------------------

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.controller.mapping import AddressMapper
 from repro.dram.device import DramDevice
+from repro.obs.invariants import get_watchdog
 from repro.obs.probes import NULL_PROBES
 from repro.transform.codec import ValueTransformCodec
 
@@ -42,6 +43,7 @@ class MemoryController:
         self.geometry = geometry
         self.mapper = mapper or AddressMapper(geometry)
         self.probes = probes if probes is not None else NULL_PROBES
+        self.watchdog = get_watchdog()
         self.ebdi_ops = 0
         self.line_reads = 0
         self.line_writes = 0
@@ -92,6 +94,18 @@ class MemoryController:
         banks = np.atleast_1d(banks)
         rows = np.atleast_1d(rows)
         lines_in_row = np.atleast_1d(lines_in_row)
+        if self.watchdog.enabled:
+            # spot-check the codec inverse pair on the batch's first line
+            sample = lines[:1]
+            row0 = int(rows[0])
+            decoded = self.codec.decode_row(
+                self.codec.encode_row(sample, row0), row0
+            )
+            self.watchdog.check(
+                "codec.round_trip",
+                bool(np.array_equal(decoded, sample)),
+                row=row0, t=round(time_s, 6),
+            )
         transformed = lines
         if self.codec.stages.ebdi:
             from repro.transform.celltype import CellType
@@ -99,6 +113,14 @@ class MemoryController:
             transformed = self.codec.ebdi.encode(transformed, CellType.TRUE)
         if self.codec.stages.bitplane:
             transformed = self.codec.bitplane.apply(transformed)
+        if self.probes.enabled:
+            # zero fraction after value transformation (before the
+            # celltype complement, which flips anti rows to all-ones):
+            # the quantity Sec. V's discharged-row detection feeds on
+            self.probes.observe(
+                "codec.encoded_zero_fraction",
+                float((transformed == 0).mean()),
+            )
         if self.codec.stages.celltype_aware:
             anti = self.codec.predictor.predict_anti(rows)
             if anti.any():

@@ -149,6 +149,8 @@ class ZeroRefreshSystem:
         with self.probes.phase("populate"):
             self._populate(profile, allocated_fraction, working_set_fraction,
                            accesses_per_window, write_fraction)
+        self.probes.gauge("sys.allocated_fraction",
+                          self.allocator.allocated_fraction)
 
     def _populate(
         self,

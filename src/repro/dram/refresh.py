@@ -50,6 +50,7 @@ from repro.dram.tracking import (
     DischargedStatusTable,
     NaiveSramTracker,
 )
+from repro.obs.invariants import get_watchdog
 from repro.obs.probes import NULL_PROBES
 
 MODES = ("zero-refresh", "conventional", "naive")
@@ -203,6 +204,7 @@ class RefreshEngine:
             raise ValueError(f"policy must be one of {POLICIES}")
         self.policy = policy
         self.probes = probes if probes is not None else NULL_PROBES
+        self.watchdog = get_watchdog()
         self.device = device
         self.geometry: DramGeometry = device.geometry
         self.timing = timing or TimingParams()
@@ -345,7 +347,33 @@ class RefreshEngine:
             skipped = int(status.sum())
             self.stats.groups_skipped += skipped
             self.probes.count("refresh.groups_skipped", skipped)
+            if self.watchdog.enabled:
+                self._watchdog_clean_skip(bank, ar_set, status, ~status,
+                                          time_s)
         return refreshed
+
+    def _watchdog_clean_skip(self, bank: int, ar_set: int,
+                             status: np.ndarray, refresh_mask: np.ndarray,
+                             time_s: float) -> None:
+        """Evidence for the clean-path skip invariants (watchdog runs only).
+
+        Called after the groups were refreshed, which is safe because a
+        refresh only recharges cells — it never changes stored data, so
+        :meth:`derive_group_status` still reflects the pre-refresh truth.
+        """
+        self.watchdog.check(
+            "refresh.no_discharged_refresh",
+            not bool((refresh_mask & status).any()),
+            bank=bank, ar_set=ar_set, t=round(time_s, 6),
+        )
+        truth = self.derive_group_status(bank, ar_set)
+        self.watchdog.check(
+            "refresh.skip_safety",
+            not bool((status & ~truth).any()),
+            bank=bank, ar_set=ar_set, t=round(time_s, 6),
+            marked_discharged=int(status.sum()),
+            actually_charged=int((status & ~truth).sum()),
+        )
 
     def _refresh_groups(self, bank: int, ar_set: int, refresh_mask: np.ndarray,
                         time_s: float) -> int:
@@ -353,6 +381,18 @@ class RefreshEngine:
         steps = self.group_steps(ar_set)[refresh_mask]
         if len(steps):
             rows_matrix = self.counters.rows_for_steps(steps)  # (chips, n)
+            if self.probes.enabled:
+                # per-group charge lifetime: time since the longest-idle
+                # chip slice of each group was last recharged (read
+                # before refresh_slices overwrites the timestamps)
+                chip_col = np.arange(self.geometry.num_chips)[:, None]
+                last = self.device.banks[bank].last_refresh[
+                    rows_matrix, chip_col
+                ]
+                self.probes.observe_many(
+                    "refresh.row_charge_lifetime_s",
+                    time_s - last.min(axis=0),
+                )
             chips = np.repeat(
                 np.arange(self.geometry.num_chips), rows_matrix.shape[1]
             )
@@ -409,15 +449,27 @@ class RefreshEngine:
         if write_hook is not None:
             write_hook(previous, start_time_s + self.timing.tret_s)
         self.stats.windows += 1
-        delta = RefreshStats(**vars(self.stats))
-        return RefreshStats(
-            ar_commands=delta.ar_commands - before.ar_commands,
-            groups_refreshed=delta.groups_refreshed - before.groups_refreshed,
-            groups_skipped=delta.groups_skipped - before.groups_skipped,
-            dirty_ars=delta.dirty_ars - before.dirty_ars,
-            clean_ars=delta.clean_ars - before.clean_ars,
-            status_reads=delta.status_reads - before.status_reads,
-            status_writes=delta.status_writes - before.status_writes,
+        after = RefreshStats(**vars(self.stats))
+        delta = RefreshStats(
+            ar_commands=after.ar_commands - before.ar_commands,
+            groups_refreshed=after.groups_refreshed - before.groups_refreshed,
+            groups_skipped=after.groups_skipped - before.groups_skipped,
+            dirty_ars=after.dirty_ars - before.dirty_ars,
+            clean_ars=after.clean_ars - before.clean_ars,
+            status_reads=after.status_reads - before.status_reads,
+            status_writes=after.status_writes - before.status_writes,
             windows=1,
-            rank_busy_groups=delta.rank_busy_groups - before.rank_busy_groups,
+            rank_busy_groups=after.rank_busy_groups - before.rank_busy_groups,
         )
+        if self.watchdog.enabled:
+            # conservation: every group in the schedule is either
+            # refreshed or deliberately skipped, exactly once per window
+            expected = (geometry.num_banks * geometry.ar_sets_per_bank
+                        * geometry.rows_per_ar)
+            self.watchdog.check(
+                "refresh.window_conservation",
+                delta.groups_total == expected,
+                groups_total=delta.groups_total, expected=expected,
+                t=round(start_time_s, 6),
+            )
+        return delta

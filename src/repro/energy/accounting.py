@@ -141,6 +141,7 @@ class EnergyAccountant:
         )
         self.probes.count("energy.refresh_nj", report.refresh_nj)
         self.probes.count("energy.overhead_nj", report.overhead_nj)
+        self.probes.gauge("energy.normalized_total", report.normalized())
         if self.probes.tracing:
             self.probes.event(
                 "energy.report", duration_s=duration_s,

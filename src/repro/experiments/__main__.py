@@ -68,6 +68,20 @@ def main(argv=None) -> int:
                         metavar="PATH",
                         help="with --profile: also write phase timings, "
                              "counters and cache stats as JSON")
+    parser.add_argument("--trace-chrome", type=Path, default=None,
+                        metavar="PATH",
+                        help="write probe events as a Chrome-trace/"
+                             "Perfetto JSON file (open at "
+                             "https://ui.perfetto.dev); implies --jobs 1")
+    parser.add_argument("--watchdog", action="store_true",
+                        help="run invariant watchdogs in every job; "
+                             "violations land in the metrics manifest "
+                             "and a summary prints on stderr")
+    parser.add_argument("--metrics-json", type=Path, default=None,
+                        metavar="PATH",
+                        help="write the merged run-level metrics "
+                             "manifest (per-job probe snapshots folded "
+                             "in plan order) as JSON")
     args = parser.parse_args(argv)
     if args.bench_json is not None and not args.profile:
         parser.error("--bench-json requires --profile")
@@ -91,18 +105,28 @@ def main(argv=None) -> int:
     if args.csv_out is not None:
         args.csv_out.mkdir(parents=True, exist_ok=True)
 
-    instrumented = args.profile or args.trace is not None
+    instrumented = (args.profile or args.trace is not None
+                    or args.trace_chrome is not None)
     bus = None
+    chrome_records = None
     if instrumented:
-        from repro.obs import JsonlTraceSink, ProbeBus
+        from repro.obs import JsonlTraceSink, ListTraceSink, ProbeBus
 
-        sink = JsonlTraceSink(args.trace) if args.trace is not None else None
+        if args.trace is not None:
+            sink = JsonlTraceSink(args.trace)
+        elif args.trace_chrome is not None:
+            # no JSONL requested: buffer events in memory for conversion
+            sink = ListTraceSink()
+            chrome_records = sink.records
+        else:
+            sink = None
         bus = ProbeBus(trace=sink)
 
     # The probe bus is per-process: instrumented runs stay in-process.
     jobs = 1 if instrumented else args.jobs
     runner = api.make_runner(jobs=jobs, cache=not args.no_cache,
-                             cache_dir=args.cache_dir)
+                             cache_dir=args.cache_dir,
+                             watchdog=args.watchdog)
     # Tables/JSON go to stdout; timings, profiles and engine diagnostics
     # go to stderr so repeated runs produce byte-identical result
     # streams — instrumented or not.
@@ -133,6 +157,27 @@ def main(argv=None) -> int:
     if args.trace is not None:
         print(f"trace: {args.trace} "
               f"({bus.trace.events_written} events)", file=sys.stderr)
+    if args.trace_chrome is not None:
+        from repro.obs.export import read_jsonl, write_chrome_trace
+
+        records = (chrome_records if chrome_records is not None
+                   else read_jsonl(args.trace))
+        n = write_chrome_trace(records, args.trace_chrome)
+        print(f"chrome trace: {args.trace_chrome} ({n} events) — open at "
+              f"https://ui.perfetto.dev", file=sys.stderr)
+    if args.metrics_json is not None:
+        runner.write_metrics_manifest(args.metrics_json)
+        print(f"metrics: {args.metrics_json}", file=sys.stderr)
+    if args.watchdog:
+        inv = runner.merged_metrics.get("invariants") or {}
+        print(f"invariants: {inv.get('checks', 0)} checks, "
+              f"{inv.get('violation_count', 0)} violations",
+              file=sys.stderr)
+        for violation in inv.get("violations", [])[:10]:
+            fields = ", ".join(f"{k}={v}"
+                               for k, v in sorted(violation.items())
+                               if k != "check")
+            print(f"  {violation.get('check')}: {fields}", file=sys.stderr)
     if args.bench_json is not None:
         write_bench_json(args.bench_json, bus, runner, elapsed)
         print(f"bench: {args.bench_json}", file=sys.stderr)
@@ -146,9 +191,13 @@ def write_bench_json(path: Path, bus, runner, elapsed_s: float) -> None:
 
     stats = runner.stats
     looked_up = stats.cache_hits + stats.cache_misses
+    invariants = runner.merged_metrics.get("invariants")
     payload = {
         "elapsed_s": round(elapsed_s, 3),
         **bus.snapshot(),
+        **({"invariants": {"checks": invariants["checks"],
+                           "violation_count": invariants["violation_count"]}}
+           if invariants else {}),
         "engine": {
             "jobs": stats.jobs,
             "cache_hits": stats.cache_hits,

@@ -13,7 +13,9 @@ computed by workers in another, or by yesterday's run.
 Layout on disk::
 
     <cache-dir>/
-        v1/<digest[:2]>/<digest>.pkl    pickled result payloads
+        v2/<digest[:2]>/<digest>.pkl    pickled ``{"result", "metrics"}``
+                                        payloads (result + its captured
+                                        probe snapshot)
         manifests/<run-id>.jsonl        run manifests (written by the CLI)
 
 The default cache directory is ``$REPRO_CACHE_DIR`` or ``.repro-cache``
@@ -31,8 +33,12 @@ from enum import Enum
 from pathlib import Path
 from typing import Iterator, Optional
 
-CACHE_SCHEMA = 1
-"""Bump to invalidate every cached result on an incompatible change."""
+CACHE_SCHEMA = 2
+"""Bump to invalidate every cached result on an incompatible change.
+
+v2: payloads became ``{"result": ..., "metrics": <probe snapshot>}`` so
+cache hits can replay the metrics captured when the job first ran.
+"""
 
 _ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 _DEFAULT_CACHE_DIR = ".repro-cache"

@@ -27,6 +27,19 @@ Every executed or cache-served job appends an entry to the runner's
 manifest (experiment id, settings digest, cache hit/miss, wall time,
 worker id), which :mod:`repro.experiments.__main__` writes as JSONL
 and summarizes at the end of a run.
+
+**Metrics pipeline.**  Every job — in-process or in a pool worker —
+runs under its own probe bus (forked from the ambient bus when one is
+installed, so ``--trace`` events still stream live).  The job's
+:meth:`~repro.obs.ProbeBus.snapshot` ships back alongside its result,
+is stored with it in the cache, and is folded into the runner's
+``merged_metrics`` in **plan order**, deduplicated by job digest.
+Plan-order merging makes the manifest independent of fan-out: a
+``jobs=4`` run merges to exactly the ``jobs=1`` numbers, and cache hits
+replay the stored snapshot so warm runs report the same simulation
+counters as cold ones.  ``Runner(watchdog=True)`` additionally installs
+a per-job :class:`~repro.obs.invariants.InvariantWatchdog` whose
+findings ride along in the snapshot's ``invariants`` section.
 """
 
 from __future__ import annotations
@@ -35,11 +48,20 @@ import importlib
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.cache import ResultCache, stable_digest
 from repro.experiments.runner import ExperimentResult, ExperimentSettings
+from repro.obs import (
+    ProbeBus,
+    empty_snapshot,
+    get_probes,
+    merge_snapshots,
+    use_probes,
+)
+from repro.obs.invariants import InvariantWatchdog, use_watchdog
 
 SIMULATE = "repro.experiments.runner:simulate_benchmark"
 """Default job function: one full-system benchmark simulation."""
@@ -89,11 +111,49 @@ def execute_job(settings: ExperimentSettings, job: SimJob):
     return fn(settings, job)
 
 
-def _timed_execute(settings: ExperimentSettings, job: SimJob):
-    """Worker entry point: result plus wall time and worker id."""
+def _captured_call(fn: Callable[[], object], watchdog: bool = False):
+    """Run ``fn`` under a scoped probe bus; return ``(result, snapshot)``.
+
+    With an ambient bus installed the scoped bus is a fork of it, so
+    trace events still stream to the live sink while counters,
+    histograms, gauges and phase times accumulate separately for the
+    per-job snapshot.  In pool workers (no ambient bus) a fresh bus
+    captures the same metrics, which is what makes fan-out transparent
+    to the metrics manifest.  ``watchdog=True`` also installs a fresh
+    :class:`InvariantWatchdog` and attaches its findings to the
+    snapshot.
+    """
+    ambient = get_probes()
+    bus = ambient.fork() if ambient.enabled else ProbeBus()
+    watch_ctx = use_watchdog(InvariantWatchdog()) if watchdog else nullcontext()
+    with watch_ctx as wd, use_probes(bus):
+        result = fn()
+    snapshot = bus.snapshot()
+    if wd is not None:
+        snapshot["invariants"] = wd.snapshot()
+    return result, snapshot
+
+
+def _timed_execute(settings: ExperimentSettings, job: SimJob,
+                   watchdog: bool = False):
+    """Worker entry point: result, metrics snapshot, wall time, pid."""
     start = time.perf_counter()
-    result = execute_job(settings, job)
-    return result, time.perf_counter() - start, os.getpid()
+    result, snapshot = _captured_call(
+        lambda: execute_job(settings, job), watchdog
+    )
+    return result, snapshot, time.perf_counter() - start, os.getpid()
+
+
+def _pack_cached(result, snapshot) -> dict:
+    """The cache payload: result plus its captured metrics snapshot."""
+    return {"result": result, "metrics": snapshot}
+
+
+def _unpack_cached(payload):
+    """Split a cache payload into ``(result, snapshot-or-None)``."""
+    if isinstance(payload, dict) and set(payload) == {"result", "metrics"}:
+        return payload["result"], payload["metrics"]
+    return payload, None
 
 
 class Experiment:
@@ -170,17 +230,26 @@ class Runner:
         ``os.cpu_count()``; ``1`` runs everything in-process.
     cache:
         A :class:`ResultCache`, or ``None`` to disable caching.
+    watchdog:
+        When true, every job runs under its own
+        :class:`~repro.obs.invariants.InvariantWatchdog`; check and
+        violation totals land in the merged metrics manifest.
     """
 
     def __init__(
         self,
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
+        watchdog: bool = False,
     ):
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.cache = cache
+        self.watchdog = watchdog
         self.manifest: List[dict] = []
         self.stats = RunnerStats()
+        self.merged_metrics: dict = empty_snapshot()
+        self.metrics_entries: List[dict] = []
+        self._metric_keys: set = set()
 
     # ------------------------------------------------------------------
     def run_experiment(
@@ -211,19 +280,28 @@ class Runner:
             for job in jobs
         ]
         results: Dict[str, object] = {}
+        metrics: Dict[str, Optional[dict]] = {}
         hit_keys = set()
         pending: Dict[str, SimJob] = {}
+        ambient = get_probes()
         for job, key in zip(jobs, keys):
             if key in results or key in pending:
                 continue
             cached = self.cache.get(key) if self.cache else None
             if cached is not None:
-                results[key] = cached
+                result, snapshot = _unpack_cached(cached)
+                results[key] = result
+                metrics[key] = snapshot
                 hit_keys.add(key)
+                # cache hits replay their stored metrics, so a warm run
+                # reports the same simulation counters as a cold one
+                if ambient.enabled and snapshot:
+                    ambient.merge_snapshot(snapshot)
             else:
                 pending[key] = job
 
-        timings = self._execute_pending(settings, pending, results)
+        timings = self._execute_pending(settings, pending, results, metrics)
+        self._merge_metrics(keys, metrics)
 
         settings_digest = stable_digest(settings)
         for index, (job, key) in enumerate(zip(jobs, keys)):
@@ -249,6 +327,7 @@ class Runner:
         settings: ExperimentSettings,
         pending: Dict[str, SimJob],
         results: Dict[str, object],
+        metrics: Dict[str, Optional[dict]],
     ) -> Dict[str, tuple]:
         """Run the cache misses, serially or over a process pool."""
         timings: Dict[str, tuple] = {}
@@ -258,7 +337,7 @@ class Runner:
             workers = min(self.jobs, len(pending))
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
-                    pool.submit(_timed_execute, settings, job): key
+                    pool.submit(_timed_execute, settings, job, self.watchdog): key
                     for key, job in pending.items()
                 }
                 remaining = set(futures)
@@ -266,19 +345,51 @@ class Runner:
                     done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                     for future in done:
                         key = futures[future]
-                        result, wall_s, worker = future.result()
-                        self._complete(key, result, wall_s, worker, results, timings)
+                        result, snapshot, wall_s, worker = future.result()
+                        self._complete(key, result, snapshot, wall_s, worker,
+                                       results, metrics, timings)
         else:
             for key, job in pending.items():
-                result, wall_s, worker = _timed_execute(settings, job)
-                self._complete(key, result, wall_s, worker, results, timings)
+                result, snapshot, wall_s, worker = _timed_execute(
+                    settings, job, self.watchdog
+                )
+                self._complete(key, result, snapshot, wall_s, worker,
+                               results, metrics, timings)
         return timings
 
-    def _complete(self, key, result, wall_s, worker, results, timings) -> None:
+    def _complete(self, key, result, snapshot, wall_s, worker,
+                  results, metrics, timings) -> None:
         results[key] = result
+        metrics[key] = snapshot
         timings[key] = (wall_s, worker)
         if self.cache:
-            self.cache.put(key, result)
+            self.cache.put(key, _pack_cached(result, snapshot))
+        # freshly executed jobs fold into the ambient bus so --profile
+        # and --trace runs see their counters and phase times live
+        ambient = get_probes()
+        if ambient.enabled and snapshot:
+            ambient.merge_snapshot(snapshot, include_phases=True)
+
+    def _merge_metrics(self, keys: Sequence[str],
+                       metrics: Dict[str, Optional[dict]]) -> None:
+        """Fold per-job snapshots into the run-level manifest.
+
+        Merging happens in **plan order** and each job digest is merged
+        once per runner lifetime, so the merged numbers do not depend on
+        completion order, fan-out, or how many figures shared a job.
+        """
+        for key in keys:
+            if key in self._metric_keys:
+                continue
+            self._metric_keys.add(key)
+            snapshot = metrics.get(key)
+            if snapshot:
+                self.merged_metrics = merge_snapshots(
+                    self.merged_metrics, snapshot
+                )
+                self.metrics_entries.append(
+                    {"digest": key, "metrics": snapshot}
+                )
 
     # ------------------------------------------------------------------
     def _run_legacy(
@@ -292,6 +403,11 @@ class Runner:
         )
         cached = self.cache.get(key) if self.cache else None
         if cached is not None:
+            result, snapshot = _unpack_cached(cached)
+            ambient = get_probes()
+            if ambient.enabled and snapshot:
+                ambient.merge_snapshot(snapshot)
+            self._merge_metrics([key], {key: snapshot})
             self._record(
                 experiment_id=experiment.experiment_id,
                 job_index=0,
@@ -304,12 +420,21 @@ class Runner:
                 wall_s=0.0,
                 worker=None,
             )
-            return cached
+            return result
         start = time.perf_counter()
-        result = experiment.legacy_run(settings)
+        result, snapshot = _captured_call(
+            lambda: experiment.legacy_run(settings), self.watchdog
+        )
         wall_s = time.perf_counter() - start
+        ambient = get_probes()
+        if ambient.enabled and snapshot:
+            ambient.merge_snapshot(snapshot, include_phases=True)
+        legacy_key = key if key is not None else stable_digest(
+            (experiment.experiment_id, settings)
+        )
+        self._merge_metrics([legacy_key], {legacy_key: snapshot})
         if self.cache:
-            self.cache.put(key, result)
+            self.cache.put(key, _pack_cached(result, snapshot))
         self._record(
             experiment_id=experiment.experiment_id,
             job_index=0,
@@ -333,6 +458,31 @@ class Runner:
         else:
             self.stats.cache_misses += 1
             self.stats.sim_seconds += wall_s
+
+    def metrics_manifest(self) -> dict:
+        """The run-level metrics manifest.
+
+        ``merged`` is the fold of every unique job's probe snapshot (in
+        plan order — identical whatever ``jobs`` was); ``jobs`` lists
+        the per-job snapshots keyed by digest, in merge order.
+        """
+        return {
+            "merged": self.merged_metrics,
+            "jobs": list(self.metrics_entries),
+        }
+
+    def write_metrics_manifest(self, path) -> None:
+        """Write :meth:`metrics_manifest` to ``path`` as JSON."""
+        import json
+        from pathlib import Path
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.metrics_manifest(), sort_keys=True, indent=2)
+            + "\n",
+            encoding="utf-8",
+        )
 
     def write_manifest(self, path) -> None:
         """Append the collected manifest entries to ``path`` as JSONL."""

@@ -1,4 +1,4 @@
-"""Observability: the probe bus and its process-wide activation.
+"""Observability: probe bus, metrics, watchdogs — process-wide activation.
 
 Components accept a ``probes`` argument and default to the ambient bus,
 so instrumentation normally flows in one of two ways:
@@ -11,8 +11,19 @@ so instrumentation normally flows in one of two ways:
   constructed inside the block (what the ``--trace``/``--profile`` CLI
   flags do).
 
-The ambient bus is per-process: engine worker processes do not inherit
-it, so instrumented experiment runs execute with ``jobs=1``.
+The ambient bus is per-process, but since PR 3 that no longer limits
+fan-out: the experiment engine runs every job under its own bus, ships
+each job's :meth:`ProbeBus.snapshot` back with the result, and merges
+the snapshots (``repro.obs.metrics.merge_snapshots``) into a run-level
+metrics manifest — counters, histograms and gauges from a ``jobs=4``
+run merge to exactly the ``jobs=1`` numbers, and cached jobs replay
+their stored metrics.  Tooling on top of the bus:
+
+* :mod:`repro.obs.metrics` — histogram/gauge types and the snapshot
+  algebra;
+* :mod:`repro.obs.invariants` — opt-in runtime invariant watchdogs;
+* :mod:`repro.obs.export` — JSONL trace → Chrome-trace/Perfetto;
+* :mod:`repro.obs.report` — bench-artifact regression reporter.
 """
 
 from __future__ import annotations
@@ -20,15 +31,38 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, Optional, Union
 
-from repro.obs.probes import NULL_PROBES, JsonlTraceSink, ProbeBus
+from repro.obs.metrics import (
+    Gauge,
+    Histogram,
+    empty_snapshot,
+    merge_snapshots,
+    register_histogram,
+)
+from repro.obs.probes import (
+    NULL_PROBES,
+    JsonlTraceSink,
+    ListTraceSink,
+    ProbeBus,
+)
 
 __all__ = [
+    "Gauge",
+    "Histogram",
+    "InvariantWatchdog",
     "JsonlTraceSink",
+    "ListTraceSink",
     "NULL_PROBES",
+    "NULL_WATCHDOG",
     "ProbeBus",
+    "empty_snapshot",
     "get_probes",
+    "get_watchdog",
     "instrument",
+    "merge_snapshots",
+    "register_histogram",
     "use_probes",
+    "use_watchdog",
+    "watch",
 ]
 
 _ACTIVE: Optional[ProbeBus] = None
@@ -60,10 +94,24 @@ def instrument(trace: Optional[Union[str, object]] = None) -> Iterator[ProbeBus]
     """
     sink = None
     if trace is not None:
-        sink = trace if isinstance(trace, JsonlTraceSink) else JsonlTraceSink(trace)
+        if isinstance(trace, (JsonlTraceSink, ListTraceSink)):
+            sink = trace
+        else:
+            sink = JsonlTraceSink(trace)
     bus = ProbeBus(trace=sink)
     try:
         with use_probes(bus):
             yield bus
     finally:
         bus.close()
+
+
+# imported after get_probes exists: invariants report violations on the
+# ambient bus
+from repro.obs.invariants import (  # noqa: E402
+    NULL_WATCHDOG,
+    InvariantWatchdog,
+    get_watchdog,
+    use_watchdog,
+    watch,
+)

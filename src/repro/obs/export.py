@@ -1,0 +1,143 @@
+"""Export probe event streams as Chrome-trace / Perfetto JSON.
+
+The ``--trace`` JSONL stream is convenient to grep but invisible to
+timeline tooling.  This module converts it into the Chrome Trace Event
+format (the JSON flavour Perfetto's https://ui.perfetto.dev loads
+directly): every probe event becomes an *instant* event placed on the
+**simulated** clock — one trace microsecond per simulated microsecond —
+so two runs of the same experiment produce byte-identical traces.
+
+Track layout:
+
+* process = kernel (the ``kernel`` field probe events carry: the
+  refresh scheme or rank name), with a ``process_name`` metadata
+  record;
+* thread  = bank (the ``bank`` field), thread 0 for bank-less events;
+* counter tracks (``ph: "C"``) are synthesised from the numeric fields
+  named in :data:`COUNTER_FIELDS` — per-window refreshed/skipped group
+  counts plot as stacked area charts in Perfetto.
+
+Use from the CLI (``python -m repro.experiments ... --trace-chrome
+out.json``) or standalone::
+
+    python -m repro.obs.export repro-trace.jsonl -o trace.chrome.json
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+US_PER_SIM_SECOND = 1_000_000
+"""Trace timestamps are integers in microseconds of simulated time."""
+
+COUNTER_FIELDS: Dict[str, Sequence[str]] = {
+    "sim.window": ("refreshed", "skipped"),
+    "refresh.ar": ("refreshed",),
+    "refresh.status_renewal": ("discharged",),
+}
+"""Event fields promoted to Chrome counter tracks, by event name."""
+
+_META_FIELDS = ("event", "seq", "t", "kernel", "bank")
+
+
+def chrome_trace(records: Iterable[dict]) -> dict:
+    """Convert probe event records into a Chrome trace document.
+
+    ``records`` are the parsed JSONL lines (or
+    :class:`~repro.obs.probes.ListTraceSink` records).  Events without a
+    simulated-time ``t`` field land at t=0; ordering within a timestamp
+    follows the input (``seq``) order, which Chrome's format permits.
+    """
+    events: List[dict] = []
+    pids: Dict[str, int] = {}
+    for record in records:
+        name = str(record.get("event", "event"))
+        ts = float(record.get("t", 0.0)) * US_PER_SIM_SECOND
+        kernel = str(record.get("kernel", "") or "sim")
+        if kernel not in pids:
+            pids[kernel] = len(pids) + 1
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pids[kernel],
+                "tid": 0, "args": {"name": kernel},
+            })
+        pid = pids[kernel]
+        tid = int(record.get("bank", 0))
+        args = {k: v for k, v in record.items() if k not in _META_FIELDS}
+        events.append({
+            "name": name,
+            "cat": name.split(".", 1)[0],
+            "ph": "i",
+            "s": "t",
+            "ts": ts,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+        for field in COUNTER_FIELDS.get(name, ()):
+            if field in record:
+                events.append({
+                    "name": f"{name}.{field}",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {field: record[field]},
+                })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated", "source": "repro.obs"},
+    }
+
+
+def read_jsonl(path: Union[str, Path]) -> List[dict]:
+    """Parse a probe-trace JSONL file into event records."""
+    records = []
+    with Path(path).open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def write_chrome_trace(records: Iterable[dict],
+                       path: Union[str, Path]) -> int:
+    """Write records as a Chrome trace file; returns the event count."""
+    payload = chrome_trace(records)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return len(payload["traceEvents"])
+
+
+def convert_jsonl(src: Union[str, Path], dst: Union[str, Path]) -> int:
+    """Convert a JSONL probe trace into a Chrome trace file."""
+    return write_chrome_trace(read_jsonl(src), dst)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.export",
+        description="Convert a JSONL probe trace to Chrome-trace/Perfetto "
+                    "JSON (open at https://ui.perfetto.dev).",
+    )
+    parser.add_argument("trace", type=Path, help="JSONL probe trace file")
+    parser.add_argument("-o", "--out", type=Path, default=None,
+                        help="output path (default: <trace>.chrome.json)")
+    args = parser.parse_args(argv)
+    out = args.out if args.out is not None else args.trace.with_suffix(
+        args.trace.suffix + ".chrome.json"
+    )
+    n = convert_jsonl(args.trace, out)
+    print(f"{out}: {n} trace events")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    raise SystemExit(main())

@@ -1,0 +1,157 @@
+"""Invariant watchdogs: cheap runtime checks, off by default.
+
+A watchdog is a registry of *observational* assertions the simulation
+can evaluate while it runs — refresh-count conservation per window, "no
+group skipped while it still held charge", codec round-trip spot
+checks.  Checks only read simulation state and draw no randomness, so
+an instrumented-and-watched run is bit-identical to a bare one (the
+golden-parity suite asserts this with the watchdog enabled).
+
+Activation mirrors the probe bus: components look up the ambient
+watchdog at construction time (:func:`get_watchdog`, default
+:data:`NULL_WATCHDOG`, whose ``enabled`` flag is ``False``) and guard
+the *evidence gathering* behind ``if self.watchdog.enabled`` so the
+disabled path costs one attribute read.  Install one with::
+
+    from repro.obs.invariants import watch
+
+    with watch() as wd:
+        system = ZeroRefreshSystem(config)   # picks up the watchdog
+        system.run_windows(8)
+    print(wd.report())
+
+The experiment engine propagates ``Runner(watchdog=True)`` into worker
+processes: each job runs under its own watchdog whose snapshot ships
+back with the job's metrics, so violations survive the fan-out and land
+in the merged metrics manifest (CLI flag: ``--watchdog``).
+
+Violations are also emitted on the ambient probe bus — an
+``invariant.violations`` counter plus a structured
+``invariant.violation`` trace event — so they show up in ``--trace``
+streams and bench artifacts without any extra plumbing.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+MAX_RECORDED = 100
+"""Violation records kept per watchdog (counters keep exact totals)."""
+
+
+class InvariantWatchdog:
+    """Collects invariant check outcomes for one run."""
+
+    enabled = True
+
+    def __init__(self, max_recorded: int = MAX_RECORDED):
+        self.checks_run = 0
+        self.violation_count = 0
+        self.violations: List[dict] = []
+        self.max_recorded = max_recorded
+
+    def check(self, name: str, ok: bool, **context) -> bool:
+        """Record one check outcome; returns ``ok`` unchanged.
+
+        On violation the context is recorded (up to ``max_recorded``),
+        the ambient probe bus counts ``invariant.violations`` and
+        ``invariant.<name>``, and a structured ``invariant.violation``
+        event is emitted when tracing.  Nothing is raised — watchdogs
+        observe, they never alter the run.
+        """
+        self.checks_run += 1
+        if ok:
+            return True
+        self.violation_count += 1
+        if len(self.violations) < self.max_recorded:
+            self.violations.append(dict(context, check=name))
+        from repro.obs import get_probes
+
+        bus = get_probes()
+        bus.count("invariant.violations")
+        bus.count(f"invariant.{name}")
+        bus.event("invariant.violation", check=name, **context)
+        return False
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able state, mergeable by
+        :func:`repro.obs.metrics.merge_snapshots`."""
+        return {
+            "checks": self.checks_run,
+            "violation_count": self.violation_count,
+            "violations": list(self.violations),
+        }
+
+    def report(self) -> str:
+        """End-of-run summary, one line per recorded violation."""
+        head = (f"invariants: {self.checks_run} checks, "
+                f"{self.violation_count} violations")
+        if not self.violations:
+            return head
+        lines = [head]
+        for violation in self.violations:
+            fields = ", ".join(
+                f"{k}={v}" for k, v in sorted(violation.items())
+                if k != "check"
+            )
+            lines.append(f"  {violation['check']}: {fields}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"InvariantWatchdog(checks={self.checks_run}, "
+                f"violations={self.violation_count})")
+
+
+class _NullWatchdog:
+    """Disabled watchdog: the ambient default.
+
+    ``enabled`` is ``False`` so call sites skip evidence gathering
+    entirely; ``check`` still answers ``True`` for code that chains on
+    the result.
+    """
+
+    enabled = False
+    checks_run = 0
+    violation_count = 0
+    violations: List[dict] = []
+
+    def check(self, name: str, ok: bool = True, **context) -> bool:
+        return True
+
+    def snapshot(self) -> dict:
+        return {"checks": 0, "violation_count": 0, "violations": []}
+
+    def report(self) -> str:
+        return "invariants: disabled"
+
+
+NULL_WATCHDOG = _NullWatchdog()
+"""Shared disabled watchdog; what :func:`get_watchdog` returns by default."""
+
+_ACTIVE: Optional[InvariantWatchdog] = None
+
+
+def get_watchdog():
+    """The ambient watchdog, or :data:`NULL_WATCHDOG` when none is active."""
+    return _ACTIVE if _ACTIVE is not None else NULL_WATCHDOG
+
+
+@contextmanager
+def use_watchdog(watchdog: InvariantWatchdog) -> Iterator[InvariantWatchdog]:
+    """Install ``watchdog`` as the ambient watchdog for the block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = watchdog
+    try:
+        yield watchdog
+    finally:
+        _ACTIVE = previous
+
+
+@contextmanager
+def watch(max_recorded: int = MAX_RECORDED) -> Iterator[InvariantWatchdog]:
+    """Build and install a fresh watchdog for the block."""
+    with use_watchdog(InvariantWatchdog(max_recorded=max_recorded)) as wd:
+        yield wd

@@ -1,0 +1,290 @@
+"""Distribution-grade metrics: histograms, gauges, mergeable snapshots.
+
+Scalar counters (PR 2) answer "how many refreshes were skipped?" but
+the paper's headline figures live on *distributions* — per-window skip
+rates, row charge lifetimes, codec compression ratios.  This module
+adds the two metric types the probe bus was missing:
+
+* :class:`Histogram` — fixed-bucket distribution with inclusive upper
+  bounds (Prometheus ``le`` convention) plus an overflow bucket;
+* :class:`Gauge` — last-written value with min/max/count envelope.
+
+Both serialise to a plain-dict **snapshot** that is JSON-able and
+*mergeable*: :func:`merge_snapshots` folds any number of snapshots into
+one, which is how per-worker metrics captured inside a
+``ProcessPoolExecutor`` job become a run-level manifest.  Merging is
+exact — bucket counts and float sums add in plan order — so a
+``jobs=4`` run merges to the same numbers as a ``jobs=1`` run (the
+engine tests assert equality).
+
+Bucket bounds are fixed per metric *name* via :data:`HISTOGRAM_BOUNDS`
+(register new metrics with :func:`register_histogram`); fixed bounds
+are what make cross-process merging well defined.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+RATIO_BOUNDS: Tuple[float, ...] = tuple(round(i / 10, 1) for i in range(1, 11))
+"""Ten equal buckets over [0, 1] — skip rates, zero fractions."""
+
+DEFAULT_BOUNDS: Tuple[float, ...] = (
+    0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0,
+)
+"""Log-spaced fallback for metrics with no registered bounds."""
+
+HISTOGRAM_BOUNDS: Dict[str, Tuple[float, ...]] = {
+    # fraction of an AR window's refresh groups that were skipped
+    "sim.window_skip_rate": RATIO_BOUNDS,
+    # simulated seconds a refreshed row went without a recharge
+    "refresh.row_charge_lifetime_s": (
+        0.016, 0.032, 0.064, 0.128, 0.256, 0.512, 1.024, 2.048,
+    ),
+    # fraction of words driven to zero by the value transformation
+    "codec.encoded_zero_fraction": RATIO_BOUNDS,
+}
+"""Registered fixed bucket bounds, keyed by dotted metric name."""
+
+
+def register_histogram(name: str, bounds: Sequence[float]) -> None:
+    """Fix the bucket bounds used for histogram metric ``name``."""
+    HISTOGRAM_BOUNDS[name] = _validated_bounds(bounds)
+
+
+def bounds_for(name: str) -> Tuple[float, ...]:
+    """The registered bounds for ``name`` (default: :data:`DEFAULT_BOUNDS`)."""
+    return HISTOGRAM_BOUNDS.get(name, DEFAULT_BOUNDS)
+
+
+def _validated_bounds(bounds: Sequence[float]) -> Tuple[float, ...]:
+    out = tuple(float(b) for b in bounds)
+    if not out:
+        raise ValueError("histogram needs at least one bucket bound")
+    if any(b >= a for b, a in zip(out, out[1:])):
+        raise ValueError(f"bucket bounds must be strictly increasing: {out}")
+    return out
+
+
+class Histogram:
+    """Fixed-bucket histogram with an overflow bucket.
+
+    Bucket ``i < len(bounds)`` counts observations ``v <= bounds[i]``
+    (and ``> bounds[i-1]``); the final bucket counts overflow.  ``sum``
+    and ``count`` allow mean recovery; bucket counts give the shape.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum")
+
+    def __init__(self, bounds: Sequence[float]):
+        self.bounds = _validated_bounds(bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: Number) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += float(value)
+
+    def observe_many(self, values) -> None:
+        """Vectorised :meth:`observe` for numpy arrays or sequences."""
+        import numpy as np
+
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size == 0:
+            return
+        idx = np.searchsorted(self.bounds, values, side="left")
+        for bucket, n in zip(*np.unique(idx, return_counts=True)):
+            self.counts[int(bucket)] += int(n)
+        self.count += int(values.size)
+        self.sum += float(values.sum())
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (bounds must match)."""
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.count += other.count
+        self.sum += other.sum
+
+    def snapshot(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "Histogram":
+        hist = cls(snap["bounds"])
+        counts = list(snap["counts"])
+        if len(counts) != len(hist.counts):
+            raise ValueError("histogram snapshot counts/bounds mismatch")
+        hist.counts = [int(c) for c in counts]
+        hist.count = int(snap["count"])
+        hist.sum = float(snap["sum"])
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram(n={self.count}, mean={self.mean:.4g})"
+
+
+class Gauge:
+    """Last-value metric with a min/max/count envelope.
+
+    Merging keeps the *later* operand's last value (merge order is plan
+    order in the engine, so merged gauges are deterministic).
+    """
+
+    __slots__ = ("last", "min", "max", "n")
+
+    def __init__(self):
+        self.last: Optional[float] = None
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.n = 0
+
+    def set(self, value: Number) -> None:
+        value = float(value)
+        self.last = value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        self.n += 1
+
+    def merge(self, other: "Gauge") -> None:
+        if other.n == 0:
+            return
+        self.last = other.last
+        self.min = other.min if self.min is None else min(self.min, other.min)
+        self.max = other.max if self.max is None else max(self.max, other.max)
+        self.n += other.n
+
+    def snapshot(self) -> dict:
+        return {"last": self.last, "min": self.min, "max": self.max,
+                "n": self.n}
+
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "Gauge":
+        gauge = cls()
+        gauge.last = snap.get("last")
+        gauge.min = snap.get("min")
+        gauge.max = snap.get("max")
+        gauge.n = int(snap.get("n", 0))
+        return gauge
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge(last={self.last}, n={self.n})"
+
+
+# ----------------------------------------------------------------------
+# snapshot algebra
+# ----------------------------------------------------------------------
+def empty_snapshot() -> dict:
+    """The identity element of :func:`merge_snapshots`."""
+    return {"counters": {}, "phases": {}, "events": 0,
+            "histograms": {}, "gauges": {}}
+
+
+MAX_RECORDED_VIOLATIONS = 100
+"""Cap on violation records carried through snapshot merges."""
+
+
+def merge_snapshots(*snapshots: dict) -> dict:
+    """Fold probe-bus snapshots into one (none of the inputs mutated).
+
+    Counters, phases, event counts and histogram buckets add; gauges
+    combine their envelopes keeping the later last value; the optional
+    ``invariants`` section sums check/violation counts and concatenates
+    recorded violations up to :data:`MAX_RECORDED_VIOLATIONS`.
+    """
+    out = empty_snapshot()
+    histograms: Dict[str, Histogram] = {}
+    gauges: Dict[str, Gauge] = {}
+    invariants: Optional[dict] = None
+    for snap in snapshots:
+        if not snap:
+            continue
+        for name, value in snap.get("counters", {}).items():
+            out["counters"][name] = out["counters"].get(name, 0) + value
+        for name, seconds in snap.get("phases", {}).items():
+            out["phases"][name] = round(
+                out["phases"].get(name, 0.0) + seconds, 6
+            )
+        out["events"] += snap.get("events", 0)
+        for name, hist_snap in snap.get("histograms", {}).items():
+            incoming = Histogram.from_snapshot(hist_snap)
+            if name in histograms:
+                histograms[name].merge(incoming)
+            else:
+                histograms[name] = incoming
+        for name, gauge_snap in snap.get("gauges", {}).items():
+            incoming = Gauge.from_snapshot(gauge_snap)
+            if name in gauges:
+                gauges[name].merge(incoming)
+            else:
+                gauges[name] = incoming
+        if "invariants" in snap:
+            part = snap["invariants"]
+            if invariants is None:
+                invariants = {"checks": 0, "violation_count": 0,
+                              "violations": []}
+            invariants["checks"] += part.get("checks", 0)
+            invariants["violation_count"] += part.get("violation_count", 0)
+            room = MAX_RECORDED_VIOLATIONS - len(invariants["violations"])
+            if room > 0:
+                invariants["violations"].extend(
+                    part.get("violations", [])[:room]
+                )
+    out["counters"] = dict(sorted(out["counters"].items()))
+    out["phases"] = dict(sorted(out["phases"].items()))
+    out["histograms"] = {name: histograms[name].snapshot()
+                         for name in sorted(histograms)}
+    out["gauges"] = {name: gauges[name].snapshot()
+                     for name in sorted(gauges)}
+    if invariants is not None:
+        out["invariants"] = invariants
+    return out
+
+
+def snapshot_totals(snapshot: dict) -> Dict[str, Number]:
+    """Flat ``{counter: value}`` view of a snapshot's counters."""
+    return dict(snapshot.get("counters", {}))
+
+
+def iter_snapshot_metrics(snapshot: dict) -> Iterable[Tuple[str, Number]]:
+    """Dotted-path numeric view over every metric in a snapshot.
+
+    Used by the bench-regression reporter to diff two snapshots without
+    caring about the section a number lives in.
+    """
+    for name, value in snapshot.get("counters", {}).items():
+        yield f"counters.{name}", value
+    for name, value in snapshot.get("phases", {}).items():
+        yield f"phases.{name}", value
+    yield "events", snapshot.get("events", 0)
+    for name, hist in snapshot.get("histograms", {}).items():
+        yield f"histograms.{name}.count", hist["count"]
+        yield f"histograms.{name}.sum", hist["sum"]
+        for i, count in enumerate(hist["counts"]):
+            yield f"histograms.{name}.bucket.{i}", count
+    for name, gauge in snapshot.get("gauges", {}).items():
+        for field in ("last", "min", "max", "n"):
+            value = gauge.get(field)
+            if value is not None:
+                yield f"gauges.{name}.{field}", value
+    inv = snapshot.get("invariants")
+    if inv is not None:
+        yield "invariants.checks", inv.get("checks", 0)
+        yield "invariants.violation_count", inv.get("violation_count", 0)

@@ -1,4 +1,4 @@
-"""Probe bus: named counters, phase wall-time profiling, JSONL tracing.
+"""Probe bus: counters, histograms, gauges, phase profiling, tracing.
 
 Instrumentation in this codebase is *observational by construction*: a
 :class:`ProbeBus` only ever records what the simulation tells it and
@@ -8,10 +8,15 @@ assert).  Components take a bus at construction time and default to
 :data:`NULL_PROBES`, a no-op singleton cheap enough to leave the calls
 in hot paths.
 
-Three facilities share the bus:
+Five facilities share the bus:
 
 * **counters** — ``bus.count("refresh.groups_skipped", n)``; dotted
   names, ``<subsystem>.<quantity>``, accumulated over the bus lifetime;
+* **histograms** — ``bus.observe("sim.window_skip_rate", 0.4)``;
+  fixed-bucket distributions (see :mod:`repro.obs.metrics` for the
+  bounds registry) for quantities whose *shape* matters;
+* **gauges** — ``bus.gauge("sys.allocated_fraction", 0.7)``; last
+  value plus a min/max envelope;
 * **phases** — ``with bus.phase("measure"): ...`` accumulates wall time
   per phase name (the ``--profile`` CLI view and the CI benchmark
   artifact);
@@ -21,6 +26,13 @@ Three facilities share the bus:
   time, so traces are deterministic; a monotone ``seq`` field orders
   them.  Guard construction of expensive event payloads with
   ``bus.tracing``.
+
+:meth:`ProbeBus.snapshot` returns the bus state as a JSON-able dict;
+snapshots merge via :func:`repro.obs.metrics.merge_snapshots`, which is
+how per-worker metrics captured by the experiment engine become one
+run-level manifest.  :meth:`ProbeBus.fork` creates a child bus for
+per-job capture whose events still flow to this bus's sink;
+:meth:`ProbeBus.absorb` folds the child back in.
 """
 
 from __future__ import annotations
@@ -29,7 +41,10 @@ import json
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Iterator, Optional, TextIO, Union
+from types import MappingProxyType
+from typing import Dict, Iterator, List, Optional, TextIO, Union
+
+from repro.obs.metrics import Gauge, Histogram, bounds_for
 
 
 class JsonlTraceSink:
@@ -43,8 +58,9 @@ class JsonlTraceSink:
         else:
             self.path = Path(target)
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = self.path.open("w")
+            self._fh = self.path.open("w", encoding="utf-8")
             self._owns = True
+        self._closed = False
         self.events_written = 0
 
     def emit(self, record: dict) -> None:
@@ -52,37 +68,97 @@ class JsonlTraceSink:
         self.events_written += 1
 
     def close(self) -> None:
+        """Flush (and close an owned file); safe to call repeatedly."""
+        if self._closed:
+            return
+        self._closed = True
         self._fh.flush()
         if self._owns:
             self._fh.close()
 
 
+class ListTraceSink:
+    """Keeps probe events in memory — for export pipelines and tests.
+
+    The ``--trace-chrome`` CLI path uses this when no JSONL file was
+    requested: events accumulate here and are converted to Chrome trace
+    format after the run.
+    """
+
+    def __init__(self):
+        self.records: List[dict] = []
+
+    @property
+    def events_written(self) -> int:
+        return len(self.records)
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+
 class ProbeBus:
-    """Collects counters, per-phase wall times and optional trace events."""
+    """Collects counters, histograms, gauges, phase times, trace events."""
 
     enabled = True
 
-    def __init__(self, trace: Optional[JsonlTraceSink] = None):
+    def __init__(self, trace=None):
         self.counters: Dict[str, float] = {}
         self.wall_times: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.gauges: Dict[str, Gauge] = {}
         self.trace = trace
+        self.events_emitted = 0
         self._seq = 0
+        self._delegate: Optional["ProbeBus"] = None
 
     # ------------------------------------------------------------------
     @property
     def tracing(self) -> bool:
         """True when events reach a sink — gate costly payload building."""
+        if self._delegate is not None:
+            return self._delegate.tracing
         return self.trace is not None
 
     def count(self, name: str, n: Union[int, float] = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + n
 
+    def observe(self, name: str, value: Union[int, float],
+                bounds=None) -> None:
+        """Record one observation into the named fixed-bucket histogram."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(bounds or bounds_for(name))
+        hist.observe(value)
+
+    def observe_many(self, name: str, values, bounds=None) -> None:
+        """Vectorised :meth:`observe` for arrays of observations."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(bounds or bounds_for(name))
+        hist.observe_many(values)
+
+    def gauge(self, name: str, value: Union[int, float]) -> None:
+        """Set the named gauge (tracks last value and min/max envelope)."""
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge()
+        gauge.set(value)
+
     def event(self, name: str, **fields) -> None:
+        if self._delegate is not None:
+            if self._delegate.tracing:
+                self._delegate.event(name, **fields)
+                self.events_emitted += 1
+            return
         if self.trace is None:
             return
         record = dict(fields, event=name, seq=self._seq)
         self._seq += 1
         self.trace.emit(record)
+        self.events_emitted += 1
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -95,6 +171,75 @@ class ProbeBus:
             self.wall_times[name] = self.wall_times.get(name, 0.0) + elapsed
 
     # ------------------------------------------------------------------
+    # composition: per-job capture
+    # ------------------------------------------------------------------
+    def fork(self) -> "ProbeBus":
+        """A child bus for scoped capture (one engine job, one phase).
+
+        The child accumulates counters, histograms, gauges and phase
+        times separately — snapshot it for the per-job record — while
+        its events still flow to this bus's sink with this bus's
+        sequence numbers, so the trace stream stays ordered and whole.
+        Fold the child back with :meth:`absorb`.
+        """
+        child = ProbeBus()
+        child._delegate = self
+        return child
+
+    def absorb(self, other: "ProbeBus") -> None:
+        """Fold another bus's metrics into this one.
+
+        Events are *not* transferred: a forked child already delivered
+        them to this bus's sink as they happened.
+        """
+        for name, value in other.counters.items():
+            self.count(name, value)
+        for name, seconds in other.wall_times.items():
+            self.wall_times[name] = self.wall_times.get(name, 0.0) + seconds
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                self.histograms[name] = Histogram.from_snapshot(hist.snapshot())
+            else:
+                mine.merge(hist)
+        for name, gauge in other.gauges.items():
+            mine = self.gauges.get(name)
+            if mine is None:
+                self.gauges[name] = Gauge.from_snapshot(gauge.snapshot())
+            else:
+                mine.merge(gauge)
+
+    def merge_snapshot(self, snap: dict, include_phases: bool = False) -> None:
+        """Fold a snapshot dict into the live bus (cache-hit replay).
+
+        Counters, histograms and gauges merge; phase wall times are
+        skipped by default because a replayed snapshot's timings belong
+        to the run that produced it, not this one.  Events are never
+        replayed.
+        """
+        for name, value in snap.get("counters", {}).items():
+            self.count(name, value)
+        if include_phases:
+            for name, seconds in snap.get("phases", {}).items():
+                self.wall_times[name] = (
+                    self.wall_times.get(name, 0.0) + seconds
+                )
+        for name, hist_snap in snap.get("histograms", {}).items():
+            incoming = Histogram.from_snapshot(hist_snap)
+            mine = self.histograms.get(name)
+            if mine is None:
+                self.histograms[name] = incoming
+            else:
+                mine.merge(incoming)
+        for name, gauge_snap in snap.get("gauges", {}).items():
+            incoming = Gauge.from_snapshot(gauge_snap)
+            mine = self.gauges.get(name)
+            if mine is None:
+                self.gauges[name] = incoming
+            else:
+                mine.merge(incoming)
+
+    # ------------------------------------------------------------------
     def profile_report(self) -> str:
         """One-line per-phase timing summary (the ``--profile`` output)."""
         if not self.wall_times:
@@ -104,12 +249,17 @@ class ProbeBus:
         return "profile: " + ", ".join(parts)
 
     def snapshot(self) -> dict:
-        """JSON-able state: counters, phase wall times, trace volume."""
+        """JSON-able, mergeable state: counters, phases, event volume,
+        histograms and gauges (see :func:`repro.obs.metrics.merge_snapshots`)."""
         return {
             "counters": dict(sorted(self.counters.items())),
             "phases": {k: round(v, 6)
                        for k, v in sorted(self.wall_times.items())},
-            "events": self.trace.events_written if self.trace else 0,
+            "events": self.events_emitted,
+            "histograms": {name: self.histograms[name].snapshot()
+                           for name in sorted(self.histograms)},
+            "gauges": {name: self.gauges[name].snapshot()
+                       for name in sorted(self.gauges)},
         }
 
     def close(self) -> None:
@@ -117,19 +267,49 @@ class ProbeBus:
             self.trace.close()
 
 
+_EMPTY_MAPPING = MappingProxyType({})
+
+
 class _NullProbes:
     """No-op bus: the default wired into every component.
 
     Must stay allocation-free on the hot paths — ``phase`` reuses one
     shared context manager and the other methods return immediately.
+    The mapping attributes are read-only views so an accidental write
+    through :data:`NULL_PROBES` raises instead of leaking global state.
     """
 
     enabled = False
     tracing = False
-    counters: Dict[str, float] = {}
-    wall_times: Dict[str, float] = {}
+    events_emitted = 0
+
+    @property
+    def counters(self):
+        return _EMPTY_MAPPING
+
+    @property
+    def wall_times(self):
+        return _EMPTY_MAPPING
+
+    @property
+    def histograms(self):
+        return _EMPTY_MAPPING
+
+    @property
+    def gauges(self):
+        return _EMPTY_MAPPING
 
     def count(self, name: str, n: Union[int, float] = 1) -> None:
+        pass
+
+    def observe(self, name: str, value: Union[int, float],
+                bounds=None) -> None:
+        pass
+
+    def observe_many(self, name: str, values, bounds=None) -> None:
+        pass
+
+    def gauge(self, name: str, value: Union[int, float]) -> None:
         pass
 
     def event(self, name: str, **fields) -> None:
@@ -146,7 +326,8 @@ class _NullProbes:
         return "profile: disabled"
 
     def snapshot(self) -> dict:
-        return {"counters": {}, "phases": {}, "events": 0}
+        return {"counters": {}, "phases": {}, "events": 0,
+                "histograms": {}, "gauges": {}}
 
     def close(self) -> None:
         pass

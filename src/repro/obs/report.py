@@ -1,0 +1,258 @@
+"""Bench-regression reporter: diff a bench artifact against a baseline.
+
+CI's bench-smoke job writes ``BENCH_sim.json`` — probe counters,
+histogram/gauge snapshots, phase wall times and engine cache stats for
+a fixed quick experiment.  This module diffs such an artifact against a
+committed baseline (``benchmarks/baseline/BENCH_sim.json``) with
+per-metric tolerances and renders a markdown delta table, failing CI
+when a *deterministic* metric drifts.
+
+Tolerance model — an ordered list of ``(fnmatch pattern, tolerance)``
+pairs, first match wins:
+
+* ``0.0`` (or any float): maximum allowed relative change; the
+  simulator is seeded and deterministic, so counters, histograms and
+  gauges default to exact equality — any drift means simulated
+  behaviour changed and either a bug crept in or the baseline must be
+  consciously regenerated;
+* ``None``: informational — wall-clock timings and cache-warmth stats
+  vary by machine, so they are reported but never fail the build.
+
+Usage::
+
+    python -m repro.obs.report benchmarks/baseline/BENCH_sim.json \
+        BENCH_sim.json --markdown-out bench_delta.md
+
+Exit status 1 when any strict metric regressed (use
+``--tolerance 'counters.sim.*=0.05'`` to loosen specific metrics).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Tolerance = Optional[float]
+
+DEFAULT_TOLERANCES: Tuple[Tuple[str, Tolerance], ...] = (
+    # wall-clock and machine-dependent quantities: report, never fail
+    ("elapsed_s", None),
+    ("phases.*", None),
+    ("engine.sim_seconds", None),
+    ("engine.cache_hits", None),
+    ("engine.cache_misses", None),
+    ("engine.cache_hit_rate", None),
+    # everything else is seeded simulation output: exact match required
+    ("*", 0.0),
+)
+
+
+def flatten(payload: dict, prefix: str = "") -> Dict[str, float]:
+    """Dotted-path view of every numeric leaf in a JSON document.
+
+    Lists flatten by index (histogram bucket counts become
+    ``histograms.<name>.counts.<i>``); strings, nulls and booleans are
+    skipped — the reporter compares numbers.
+    """
+    flat: Dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            flat.update(flatten(value, f"{prefix}{key}."))
+    elif isinstance(payload, (list, tuple)):
+        for i, value in enumerate(payload):
+            flat.update(flatten(value, f"{prefix}{i}."))
+    elif isinstance(payload, bool) or payload is None:
+        pass
+    elif isinstance(payload, (int, float)):
+        flat[prefix[:-1]] = float(payload)
+    return flat
+
+
+def tolerance_for(path: str,
+                  tolerances: Sequence[Tuple[str, Tolerance]]) -> Tolerance:
+    """First matching tolerance for a metric path (``None`` = info-only)."""
+    for pattern, tolerance in tolerances:
+        if fnmatchcase(path, pattern):
+            return tolerance
+    return 0.0
+
+
+@dataclass
+class MetricDelta:
+    """One compared metric."""
+
+    path: str
+    baseline: Optional[float]
+    current: Optional[float]
+    status: str  # "ok" | "fail" | "info" | "added" | "removed"
+
+    @property
+    def abs_delta(self) -> Optional[float]:
+        if self.baseline is None or self.current is None:
+            return None
+        return self.current - self.baseline
+
+    @property
+    def rel_delta(self) -> Optional[float]:
+        if self.baseline is None or self.current is None:
+            return None
+        if self.baseline == 0:
+            return 0.0 if self.current == 0 else float("inf")
+        return (self.current - self.baseline) / abs(self.baseline)
+
+    def render_delta(self) -> str:
+        rel = self.rel_delta
+        if rel is None:
+            return "-"
+        if rel == 0:
+            return "0"
+        if rel == float("inf"):
+            return "new≠0"
+        return f"{rel:+.2%}"
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of one baseline/current comparison."""
+
+    deltas: List[MetricDelta] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.status in ("fail", "removed")]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def summary(self) -> str:
+        n_info = sum(1 for d in self.deltas if d.status == "info")
+        n_added = sum(1 for d in self.deltas if d.status == "added")
+        state = "OK" if self.ok else "REGRESSION"
+        return (f"bench-regression: {state} — {len(self.deltas)} metrics, "
+                f"{len(self.regressions)} failing, {n_added} new, "
+                f"{n_info} informational")
+
+    def to_markdown(self, max_rows: int = 60) -> str:
+        """Markdown delta table: failures first, then notable info rows."""
+        lines = [f"### {self.summary()}", ""]
+        interesting = [d for d in self.deltas if d.status != "ok"]
+        # failures always shown; info rows only when they moved
+        shown = [d for d in interesting
+                 if d.status != "info" or (d.rel_delta or 0) != 0]
+        shown.sort(key=lambda d: (d.status not in ("fail", "removed"),
+                                  d.path))
+        if not shown:
+            lines.append("No metric drift against the baseline.")
+            return "\n".join(lines) + "\n"
+        lines += ["| metric | baseline | current | Δ | status |",
+                  "|---|---:|---:|---:|---|"]
+        for delta in shown[:max_rows]:
+            fmt = lambda v: "-" if v is None else f"{v:g}"  # noqa: E731
+            lines.append(
+                f"| `{delta.path}` | {fmt(delta.baseline)} | "
+                f"{fmt(delta.current)} | {delta.render_delta()} | "
+                f"{delta.status} |"
+            )
+        if len(shown) > max_rows:
+            lines.append(f"| … {len(shown) - max_rows} more rows | | | | |")
+        return "\n".join(lines) + "\n"
+
+
+def compare(baseline: dict, current: dict,
+            tolerances: Optional[Sequence[Tuple[str, Tolerance]]] = None,
+            ) -> RegressionReport:
+    """Diff two bench artifacts (parsed JSON documents)."""
+    tolerances = tuple(tolerances) if tolerances else DEFAULT_TOLERANCES
+    base_flat = flatten(baseline)
+    curr_flat = flatten(current)
+    report = RegressionReport()
+    for path in sorted(set(base_flat) | set(curr_flat)):
+        tolerance = tolerance_for(path, tolerances)
+        base = base_flat.get(path)
+        curr = curr_flat.get(path)
+        if base is None:
+            # new instrumentation: informational, never a failure
+            status = "added"
+        elif curr is None:
+            # a strict metric disappearing is as suspicious as drifting
+            status = "removed" if tolerance is not None else "info"
+        elif tolerance is None:
+            status = "info"
+        else:
+            if base == 0:
+                within = curr == 0 if tolerance == 0 else (
+                    abs(curr) <= tolerance
+                )
+            else:
+                within = abs(curr - base) <= tolerance * abs(base)
+            status = "ok" if within else "fail"
+        report.deltas.append(
+            MetricDelta(path=path, baseline=base, current=curr, status=status)
+        )
+    return report
+
+
+def parse_tolerance_args(specs: Sequence[str],
+                         ) -> List[Tuple[str, Tolerance]]:
+    """Parse ``PATTERN=REL`` CLI overrides (``REL`` may be ``info``)."""
+    overrides: List[Tuple[str, Tolerance]] = []
+    for spec in specs:
+        pattern, sep, value = spec.partition("=")
+        if not sep or not pattern:
+            raise ValueError(f"tolerance must be PATTERN=REL, got {spec!r}")
+        overrides.append(
+            (pattern, None if value == "info" else float(value))
+        )
+    return overrides
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Diff a BENCH_sim.json against a committed baseline; "
+                    "exit 1 on regressions beyond tolerance.",
+    )
+    parser.add_argument("baseline", type=Path,
+                        help="committed baseline artifact")
+    parser.add_argument("current", type=Path,
+                        help="freshly produced artifact")
+    parser.add_argument("--tolerance", action="append", default=[],
+                        metavar="PATTERN=REL",
+                        help="override tolerance for matching metrics "
+                             "(relative fraction, or 'info' to make them "
+                             "report-only); may repeat, first match wins")
+    parser.add_argument("--markdown-out", type=Path, default=None,
+                        metavar="PATH", help="also write the delta table "
+                                             "as markdown")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    current = json.loads(args.current.read_text(encoding="utf-8"))
+    tolerances = (tuple(parse_tolerance_args(args.tolerance))
+                  + DEFAULT_TOLERANCES)
+    report = compare(baseline, current, tolerances)
+
+    markdown = report.to_markdown()
+    if args.markdown_out is not None:
+        args.markdown_out.parent.mkdir(parents=True, exist_ok=True)
+        args.markdown_out.write_text(markdown, encoding="utf-8")
+    print(markdown)
+    print(report.summary(), file=sys.stderr)
+    if not report.ok:
+        for delta in report.regressions[:20]:
+            print(f"  REGRESSION {delta.path}: {delta.baseline} -> "
+                  f"{delta.current} ({delta.render_delta()})",
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    raise SystemExit(main())

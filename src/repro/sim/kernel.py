@@ -116,6 +116,11 @@ class SimKernel:
         delta = self.scheme.run_window(t0, write_hook=hook)
         self.stats = self.stats.merged_with(delta)
         self.probes.count("sim.windows")
+        if self.probes.enabled and delta.groups_total:
+            self.probes.observe(
+                "sim.window_skip_rate",
+                delta.groups_skipped / delta.groups_total,
+            )
         if self.probes.tracing:
             self.probes.event(
                 "sim.window", kernel=self.name, phase="measure",
@@ -137,6 +142,7 @@ class SimKernel:
         with self.probes.phase("measure"):
             for _ in range(n_windows):
                 self.step()
+        self.probes.gauge("sim.time_s", self.time_s)
         return self.stats
 
 

@@ -118,3 +118,72 @@ class TestInstrumentationFlags:
 
         with pytest.raises(SystemExit):
             main(self.BASE + ["--bench-json", str(tmp_path / "b.json")])
+
+    def test_trace_chrome_without_jsonl(self, tmp_path, capsys):
+        import json
+
+        chrome = tmp_path / "trace.chrome.json"
+        assert main(self.BASE + ["--trace-chrome", str(chrome)]) == 0
+        err = capsys.readouterr().err
+        assert "ui.perfetto.dev" in err
+        doc = json.loads(chrome.read_text())
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert instants, "no instant events in chrome trace"
+        assert any(e["name"] == "sim.window" for e in instants)
+        assert doc["otherData"]["clock"] == "simulated"
+
+    def test_trace_chrome_converts_the_jsonl_stream(self, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        chrome = tmp_path / "trace.chrome.json"
+        assert main(self.BASE + ["--trace", str(trace),
+                                 "--trace-chrome", str(chrome)]) == 0
+        jsonl_events = len(trace.read_text().splitlines())
+        doc = json.loads(chrome.read_text())
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == jsonl_events
+
+    def test_metrics_json(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        assert main(self.BASE + ["--metrics-json", str(metrics)]) == 0
+        assert f"metrics: {metrics}" in capsys.readouterr().err
+        doc = json.loads(metrics.read_text())
+        assert set(doc) == {"merged", "jobs"}
+        assert doc["merged"]["counters"]["sim.windows"] >= 1
+
+    def test_metrics_json_identical_across_fan_out(self, tmp_path):
+        import json
+
+        base = ["fig19", "--memory-mb", "4", "--windows", "1", "--no-cache"]
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(base + ["--jobs", "1", "--metrics-json", str(a)]) == 0
+        assert main(base + ["--jobs", "4", "--metrics-json", str(b)]) == 0
+        da, db = json.loads(a.read_text()), json.loads(b.read_text())
+        # wall-clock phases are machine- and schedule-dependent; every
+        # simulated quantity must be exactly equal
+        da["merged"].pop("phases"), db["merged"].pop("phases")
+        for entry in da["jobs"] + db["jobs"]:
+            entry["metrics"].pop("phases")
+        assert da == db
+
+    def test_watchdog_summary_and_stdout_unchanged(self, capsys):
+        assert main(self.BASE) == 0
+        plain = capsys.readouterr()
+        assert main(self.BASE + ["--watchdog"]) == 0
+        watched = capsys.readouterr()
+        assert watched.out == plain.out
+        assert "invariants:" in watched.err
+        assert "0 violations" in watched.err
+
+    def test_watchdog_findings_in_bench_json(self, tmp_path):
+        import json
+
+        bench = tmp_path / "BENCH_sim.json"
+        assert main(self.BASE + ["--profile", "--watchdog",
+                                 "--bench-json", str(bench)]) == 0
+        payload = json.loads(bench.read_text())
+        assert payload["invariants"]["checks"] > 0
+        assert payload["invariants"]["violation_count"] == 0

@@ -1,0 +1,137 @@
+"""Tests for the Chrome-trace / Perfetto exporter."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    COUNTER_FIELDS,
+    chrome_trace,
+    convert_jsonl,
+    main,
+    read_jsonl,
+    write_chrome_trace,
+)
+
+
+def _instants(doc):
+    return [e for e in doc["traceEvents"] if e["ph"] == "i"]
+
+
+class TestChromeTrace:
+    def test_instant_events_on_simulated_clock(self):
+        doc = chrome_trace([
+            {"event": "refresh.ar", "seq": 0, "t": 0.032, "bank": 3,
+             "kernel": "zero-refresh", "ar_set": 7},
+        ])
+        (event,) = _instants(doc)
+        assert event["name"] == "refresh.ar"
+        assert event["cat"] == "refresh"
+        assert event["s"] == "t"
+        # one trace microsecond per simulated microsecond
+        assert event["ts"] == pytest.approx(32_000.0)
+        assert event["tid"] == 3
+        assert event["args"] == {"ar_set": 7}
+
+    def test_process_per_kernel_with_metadata(self):
+        doc = chrome_trace([
+            {"event": "sim.window", "t": 0.0, "kernel": "zero-refresh"},
+            {"event": "sim.window", "t": 0.0, "kernel": "raidr"},
+            {"event": "sim.window", "t": 0.064, "kernel": "zero-refresh"},
+        ])
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert [m["args"]["name"] for m in meta] == ["zero-refresh", "raidr"]
+        assert [m["pid"] for m in meta] == [1, 2]
+        assert [e["pid"] for e in _instants(doc)] == [1, 2, 1]
+
+    def test_kernel_less_events_land_on_sim_process(self):
+        doc = chrome_trace([{"event": "engine.job", "t": 0.5}])
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert meta[0]["args"]["name"] == "sim"
+        (event,) = _instants(doc)
+        assert event["tid"] == 0  # bank-less -> thread 0
+        assert event["ts"] == pytest.approx(500_000.0)
+
+    def test_counter_tracks_from_registered_fields(self):
+        assert "sim.window" in COUNTER_FIELDS
+        doc = chrome_trace([
+            {"event": "sim.window", "t": 0.064, "kernel": "zero-refresh",
+             "refreshed": 100, "skipped": 28},
+        ])
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert {c["name"]: c["args"] for c in counters} == {
+            "sim.window.refreshed": {"refreshed": 100},
+            "sim.window.skipped": {"skipped": 28},
+        }
+        assert all(c["tid"] == 0 for c in counters)
+
+    def test_counter_fields_absent_from_record_are_skipped(self):
+        doc = chrome_trace([
+            {"event": "refresh.ar", "t": 0.0, "refreshed": 5},
+            {"event": "refresh.ar", "t": 0.0},
+        ])
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert len(counters) == 1
+
+    def test_deterministic_for_identical_input(self):
+        records = [
+            {"event": "refresh.ar", "seq": i, "t": i * 0.001, "bank": i % 4,
+             "kernel": "zero-refresh", "refreshed": i}
+            for i in range(16)
+        ]
+        a = json.dumps(chrome_trace(records), sort_keys=True)
+        b = json.dumps(chrome_trace(list(records)), sort_keys=True)
+        assert a == b
+
+    def test_document_envelope(self):
+        doc = chrome_trace([])
+        assert doc["traceEvents"] == []
+        assert doc["otherData"]["clock"] == "simulated"
+
+
+class TestFiles:
+    def _write_jsonl(self, path, records):
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in records), encoding="utf-8"
+        )
+
+    def test_read_jsonl_skips_blank_lines(self, tmp_path):
+        src = tmp_path / "trace.jsonl"
+        src.write_text('{"event": "a"}\n\n{"event": "b"}\n')
+        assert [r["event"] for r in read_jsonl(src)] == ["a", "b"]
+
+    def test_write_chrome_trace_creates_parents(self, tmp_path):
+        out = tmp_path / "deep" / "trace.json"
+        n = write_chrome_trace([{"event": "sim.window", "t": 0.0}], out)
+        doc = json.loads(out.read_text())
+        assert n == len(doc["traceEvents"]) == 2  # metadata + instant
+
+    def test_convert_jsonl_round_trip(self, tmp_path):
+        src = tmp_path / "trace.jsonl"
+        self._write_jsonl(src, [
+            {"event": "refresh.ar", "seq": 0, "t": 0.032, "bank": 1,
+             "kernel": "zero-refresh", "refreshed": 3},
+        ])
+        out = tmp_path / "trace.chrome.json"
+        n = convert_jsonl(src, out)
+        doc = json.loads(out.read_text())
+        # metadata + instant + one counter track
+        assert n == 3
+        assert [e["ph"] for e in doc["traceEvents"]] == ["M", "i", "C"]
+
+
+class TestMain:
+    def test_default_output_path(self, tmp_path, capsys):
+        src = tmp_path / "run.jsonl"
+        src.write_text('{"event": "sim.window", "t": 0.064}\n')
+        assert main([str(src)]) == 0
+        out = tmp_path / "run.jsonl.chrome.json"
+        assert out.exists()
+        assert "2 trace events" in capsys.readouterr().out
+
+    def test_explicit_output_path(self, tmp_path):
+        src = tmp_path / "run.jsonl"
+        src.write_text('{"event": "sim.window", "t": 0.064}\n')
+        out = tmp_path / "custom.json"
+        assert main([str(src), "-o", str(out)]) == 0
+        assert json.loads(out.read_text())["otherData"]["clock"] == "simulated"

@@ -8,6 +8,7 @@ import pytest
 from repro.obs import (
     NULL_PROBES,
     JsonlTraceSink,
+    ListTraceSink,
     ProbeBus,
     get_probes,
     instrument,
@@ -87,16 +88,139 @@ class TestTrace:
         assert json.loads(path.read_text())["event"] == "sim.window"
 
 
+class TestSinks:
+    def test_jsonl_sink_close_is_idempotent(self, tmp_path):
+        sink = JsonlTraceSink(tmp_path / "run.jsonl")
+        sink.emit({"event": "x"})
+        sink.close()
+        sink.close()  # must not raise on an already-closed file
+        assert sink.events_written == 1
+
+    def test_jsonl_sink_pins_utf8(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = JsonlTraceSink(path)
+        assert sink._fh.encoding.lower().replace("-", "") == "utf8"
+        sink.emit({"event": "sim.window", "label": "tRETµ"})
+        sink.close()
+        assert "tRET" in path.read_text(encoding="utf-8")
+
+    def test_list_sink_keeps_records(self):
+        sink = ListTraceSink()
+        bus = ProbeBus(trace=sink)
+        bus.event("refresh.ar", bank=2, t=0.032)
+        bus.close()
+        assert sink.events_written == 1
+        assert sink.records == [{"bank": 2, "event": "refresh.ar",
+                                 "seq": 0, "t": 0.032}]
+
+
+class TestHistogramsAndGauges:
+    def test_observe_uses_registered_bounds(self):
+        bus = ProbeBus()
+        bus.observe("sim.window_skip_rate", 0.45)
+        bus.observe("sim.window_skip_rate", 0.05)
+        hist = bus.histograms["sim.window_skip_rate"]
+        assert hist.count == 2
+        assert hist.counts[0] == 1  # <= 0.1
+        assert hist.counts[4] == 1  # <= 0.5
+
+    def test_observe_many(self):
+        bus = ProbeBus()
+        bus.observe_many("x", [0.5, 1.5, 2.0], bounds=(1.0, 2.0))
+        hist = bus.histograms["x"]
+        assert hist.counts == [1, 2, 0]
+        assert hist.sum == pytest.approx(4.0)
+
+    def test_gauge_envelope(self):
+        bus = ProbeBus()
+        bus.gauge("sys.allocated_fraction", 0.7)
+        bus.gauge("sys.allocated_fraction", 0.3)
+        gauge = bus.gauges["sys.allocated_fraction"]
+        assert (gauge.last, gauge.min, gauge.max, gauge.n) == (0.3, 0.3, 0.7, 2)
+
+    def test_snapshot_includes_both(self):
+        bus = ProbeBus()
+        bus.observe("h", 1.0, bounds=(2.0,))
+        bus.gauge("g", 5)
+        snap = bus.snapshot()
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["gauges"]["g"]["last"] == 5.0
+
+
+class TestForkAbsorb:
+    def test_fork_captures_separately_events_flow_to_parent(self):
+        sink = ListTraceSink()
+        parent = ProbeBus(trace=sink)
+        parent.event("a")
+        child = parent.fork()
+        assert child.tracing
+        child.count("sim.windows")
+        child.event("b")
+        parent.event("c")
+        # parent's seq numbering stays monotone across the fork
+        assert [rec["seq"] for rec in sink.records] == [0, 1, 2]
+        assert "sim.windows" not in parent.counters
+        parent.absorb(child)
+        assert parent.counters["sim.windows"] == 1
+
+    def test_absorb_merges_all_metric_kinds(self):
+        parent, child = ProbeBus(), ProbeBus()
+        parent.count("c", 1)
+        child.count("c", 2)
+        child.observe("h", 0.5, bounds=(1.0,))
+        child.gauge("g", 3)
+        with child.phase("measure"):
+            pass
+        parent.absorb(child)
+        assert parent.counters["c"] == 3
+        assert parent.histograms["h"].count == 1
+        assert parent.gauges["g"].last == 3.0
+        assert "measure" in parent.wall_times
+
+    def test_merge_snapshot_replays_without_phases_or_events(self):
+        source = ProbeBus()
+        source.count("c", 2)
+        source.observe("h", 0.5, bounds=(1.0,))
+        source.gauge("g", 4)
+        with source.phase("measure"):
+            pass
+        target = ProbeBus()
+        target.merge_snapshot(source.snapshot())
+        assert target.counters == {"c": 2}
+        assert target.histograms["h"].count == 1
+        assert target.gauges["g"].last == 4.0
+        assert target.wall_times == {}
+        assert target.snapshot()["events"] == 0
+
+
 class TestNullProbes:
     def test_noop_everything(self):
         NULL_PROBES.count("x", 5)
         NULL_PROBES.event("x", a=1)
+        NULL_PROBES.observe("x", 1.0)
+        NULL_PROBES.observe_many("x", [1.0, 2.0])
+        NULL_PROBES.gauge("x", 1.0)
         with NULL_PROBES.phase("measure"):
             pass
         assert NULL_PROBES.counters == {}
         assert NULL_PROBES.wall_times == {}
+        assert NULL_PROBES.histograms == {}
+        assert NULL_PROBES.gauges == {}
         assert not NULL_PROBES.tracing
         assert NULL_PROBES.snapshot()["counters"] == {}
+
+    def test_mappings_are_read_only(self):
+        # an accidental write through NULL_PROBES must raise instead of
+        # leaking state into every later reader of the shared singleton
+        with pytest.raises(TypeError):
+            NULL_PROBES.counters["x"] = 1
+        with pytest.raises(TypeError):
+            NULL_PROBES.wall_times["x"] = 1.0
+        with pytest.raises(TypeError):
+            NULL_PROBES.histograms["x"] = None
+        with pytest.raises(TypeError):
+            NULL_PROBES.gauges["x"] = None
+        assert NULL_PROBES.counters == {}
 
 
 class TestAmbientBus:

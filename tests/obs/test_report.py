@@ -1,0 +1,167 @@
+"""Tests for the bench-regression reporter."""
+
+import json
+
+import pytest
+
+from repro.obs.report import (
+    DEFAULT_TOLERANCES,
+    compare,
+    flatten,
+    main,
+    parse_tolerance_args,
+    tolerance_for,
+)
+
+
+class TestFlatten:
+    def test_dotted_numeric_leaves(self):
+        flat = flatten({
+            "counters": {"refresh.ar_commands": 512},
+            "histograms": {"h": {"counts": [1, 2], "sum": 0.5}},
+            "elapsed_s": 1.25,
+        })
+        assert flat == {
+            "counters.refresh.ar_commands": 512.0,
+            "histograms.h.counts.0": 1.0,
+            "histograms.h.counts.1": 2.0,
+            "histograms.h.sum": 0.5,
+            "elapsed_s": 1.25,
+        }
+
+    def test_skips_strings_nulls_and_booleans(self):
+        flat = flatten({"name": "fig14", "quick": True, "note": None,
+                        "n": 3})
+        assert flat == {"n": 3.0}
+
+
+class TestToleranceFor:
+    def test_first_match_wins(self):
+        tolerances = (("phases.*", None), ("phases.measure", 0.5),
+                      ("*", 0.0))
+        assert tolerance_for("phases.measure", tolerances) is None
+        assert tolerance_for("counters.x", tolerances) == 0.0
+
+    def test_defaults_mark_machine_dependent_info(self):
+        assert tolerance_for("elapsed_s", DEFAULT_TOLERANCES) is None
+        assert tolerance_for("phases.measure", DEFAULT_TOLERANCES) is None
+        assert tolerance_for("engine.cache_hits", DEFAULT_TOLERANCES) is None
+        assert tolerance_for("counters.sim.windows",
+                             DEFAULT_TOLERANCES) == 0.0
+
+
+class TestCompare:
+    def test_identical_documents_are_ok(self):
+        doc = {"counters": {"a": 1, "b": 2.5}, "elapsed_s": 3.0}
+        report = compare(doc, json.loads(json.dumps(doc)))
+        assert report.ok
+        assert {d.status for d in report.deltas} == {"ok", "info"}
+
+    def test_strict_drift_fails(self):
+        report = compare({"counters": {"a": 100}}, {"counters": {"a": 101}})
+        assert not report.ok
+        (delta,) = report.regressions
+        assert (delta.path, delta.status) == ("counters.a", "fail")
+        assert delta.abs_delta == 1.0
+        assert delta.rel_delta == pytest.approx(0.01)
+
+    def test_info_metrics_never_fail(self):
+        report = compare({"elapsed_s": 1.0, "phases": {"measure": 2.0}},
+                         {"elapsed_s": 9.0, "phases": {"measure": 0.1}})
+        assert report.ok
+        assert all(d.status == "info" for d in report.deltas)
+
+    def test_within_tolerance_passes(self):
+        report = compare({"counters": {"a": 100}}, {"counters": {"a": 104}},
+                         tolerances=(("*", 0.05),))
+        assert report.ok
+        report = compare({"counters": {"a": 100}}, {"counters": {"a": 106}},
+                         tolerances=(("*", 0.05),))
+        assert not report.ok
+
+    def test_zero_baseline(self):
+        # strict: zero must stay zero
+        assert not compare({"c": {"a": 0}}, {"c": {"a": 1}}).ok
+        assert compare({"c": {"a": 0}}, {"c": {"a": 0}}).ok
+        # loose: small absolute excursions from zero are allowed
+        assert compare({"c": {"a": 0}}, {"c": {"a": 0.05}},
+                       tolerances=(("*", 0.1),)).ok
+        delta = compare({"c": {"a": 0}}, {"c": {"a": 1}}).deltas[0]
+        assert delta.render_delta() == "new≠0"
+
+    def test_added_metric_is_informational(self):
+        report = compare({}, {"counters": {"new": 7}})
+        assert report.ok
+        assert report.deltas[0].status == "added"
+
+    def test_removed_strict_metric_fails(self):
+        report = compare({"counters": {"gone": 7}}, {})
+        assert not report.ok
+        assert report.regressions[0].status == "removed"
+
+    def test_removed_info_metric_does_not_fail(self):
+        report = compare({"elapsed_s": 1.0}, {})
+        assert report.ok
+
+
+class TestMarkdown:
+    def test_no_drift_message(self):
+        md = compare({"counters": {"a": 1}}, {"counters": {"a": 1}}).to_markdown()
+        assert "No metric drift" in md
+        assert "OK" in md
+
+    def test_failures_listed_first(self):
+        report = compare(
+            {"counters": {"a": 1}, "elapsed_s": 1.0},
+            {"counters": {"a": 2}, "elapsed_s": 5.0},
+        )
+        md = report.to_markdown()
+        assert "REGRESSION" in md
+        rows = [line for line in md.splitlines() if line.startswith("| `")]
+        assert rows[0].startswith("| `counters.a`")
+        assert "fail" in rows[0]
+
+    def test_row_cap(self):
+        baseline = {"c": {f"m{i:03d}": 0 for i in range(30)}}
+        current = {"c": {f"m{i:03d}": 1 for i in range(30)}}
+        md = compare(baseline, current).to_markdown(max_rows=10)
+        assert "… 20 more rows" in md
+
+
+class TestParseToleranceArgs:
+    def test_parses_float_and_info(self):
+        assert parse_tolerance_args(["counters.*=0.05", "phases.*=info"]) == [
+            ("counters.*", 0.05), ("phases.*", None)
+        ]
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError, match="PATTERN=REL"):
+            parse_tolerance_args(["nope"])
+
+
+class TestMain:
+    def _write(self, path, doc):
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        return path
+
+    def test_ok_exit_and_markdown_artifact(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", {"counters": {"a": 1}})
+        curr = self._write(tmp_path / "curr.json", {"counters": {"a": 1}})
+        md_out = tmp_path / "delta.md"
+        assert main([str(base), str(curr), "--markdown-out", str(md_out)]) == 0
+        assert "No metric drift" in md_out.read_text()
+        assert "bench-regression: OK" in capsys.readouterr().err
+
+    def test_regression_exit_code(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", {"counters": {"a": 1}})
+        curr = self._write(tmp_path / "curr.json", {"counters": {"a": 2}})
+        assert main([str(base), str(curr)]) == 1
+        err = capsys.readouterr().err
+        assert "REGRESSION counters.a" in err
+
+    def test_cli_tolerance_override_rescues(self, tmp_path):
+        base = self._write(tmp_path / "base.json", {"counters": {"a": 100}})
+        curr = self._write(tmp_path / "curr.json", {"counters": {"a": 101}})
+        assert main([str(base), str(curr)]) == 1
+        assert main([str(base), str(curr),
+                     "--tolerance", "counters.a=0.05"]) == 0
