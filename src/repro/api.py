@@ -38,10 +38,54 @@ __all__ = [
     "get_experiment",
     "list_experiments",
     "make_runner",
+    "make_server",
     "quick_settings",
     "run_all",
     "run_experiment",
+    "settings_from_dict",
+    "version",
 ]
+
+
+def version() -> str:
+    """The package version, from installed metadata when available.
+
+    Falls back to ``repro.__version__`` for source-tree runs
+    (``PYTHONPATH=src``) where no distribution metadata exists.
+    """
+    try:
+        from importlib.metadata import version as metadata_version
+
+        return metadata_version("repro")
+    except Exception:
+        import repro
+
+        return getattr(repro, "__version__", "unknown")
+
+
+def settings_from_dict(overrides=None, quick: bool = False) -> ExperimentSettings:
+    """Build :class:`ExperimentSettings` from a JSON-decoded mapping.
+
+    The wire form used by the serving layer's experiment endpoint;
+    see :meth:`ExperimentSettings.from_dict` for the accepted keys.
+    """
+    return ExperimentSettings.from_dict(overrides, quick=quick)
+
+
+def make_server(config=None, **overrides):
+    """A configured :class:`repro.serve.ReproServer` (not yet started).
+
+    ``overrides`` are :class:`repro.serve.ServeConfig` fields; pass a
+    ready config instead to reuse one.  Imported lazily so plain
+    experiment runs never pay for the serving stack.
+    """
+    from repro.serve import ReproServer, ServeConfig
+
+    if config is None:
+        config = ServeConfig(**overrides)
+    elif overrides:
+        raise ValueError("give a ServeConfig or field overrides, not both")
+    return ReproServer(config)
 
 
 def list_experiments() -> List[str]:

@@ -34,6 +34,8 @@ def main(argv=None) -> int:
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {api.version()}")
     parser.add_argument(
         "experiment",
         help=f"experiment id or 'all'; one of: {', '.join(REGISTRY)}",

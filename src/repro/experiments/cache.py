@@ -141,14 +141,28 @@ class ResultCache:
         return self.root / f"v{CACHE_SCHEMA}" / key[:2] / f"{key}.pkl"
 
     def get(self, key: str):
-        """The cached payload for ``key``, or ``None`` on a miss."""
+        """The cached payload for ``key``, or ``None`` on a miss.
+
+        A corrupt or truncated entry (interrupted writer, disk fault)
+        is treated as a miss: the broken file is removed so the next
+        :meth:`put` rewrites it, and the event is reported on the
+        ambient probe bus (``cache.corrupt_entries`` counter plus a
+        trace event) instead of raising into the run.
+        """
         path = self.path_for(key)
         try:
             with path.open("rb") as fh:
                 return pickle.load(fh)
         except FileNotFoundError:
             return None
-        except Exception:
+        except Exception as exc:
+            from repro.obs import get_probes
+
+            probes = get_probes()
+            probes.count("cache.corrupt_entries")
+            if probes.tracing:
+                probes.event("cache.corrupt_entry", key=key,
+                             path=str(path), error=type(exc).__name__)
             path.unlink(missing_ok=True)
             return None
 

@@ -499,6 +499,71 @@ class Runner:
         return self.stats.merged_into_summary(elapsed_s)
 
 
+# ----------------------------------------------------------------------
+# submittable experiment requests (the serving layer's job unit)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentRequest:
+    """One self-contained, picklable experiment execution request.
+
+    This is the unit :mod:`repro.serve` ships to a worker process: it
+    names the experiment, carries the settings overrides in wire form
+    (see :meth:`ExperimentSettings.from_dict`) and the cache location,
+    and nothing else — so :func:`execute_request` can run it in any
+    process with no shared state beyond the on-disk result cache.
+    """
+
+    experiment_id: str
+    quick: bool = True
+    overrides: Optional[Dict[str, object]] = None
+    use_cache: bool = True
+    cache_dir: Optional[str] = None
+    jobs: int = 1
+
+
+def request_digest(request: ExperimentRequest) -> str:
+    """Stable identity of a request's *outcome* (not its cache config).
+
+    Two requests that must produce byte-identical results — same
+    experiment, same settings — share a digest even if one disables
+    the cache; the serving layer uses this for single-flight
+    coalescing of concurrent identical submissions.
+    """
+    settings = ExperimentSettings.from_dict(request.overrides, request.quick)
+    return stable_digest("experiment-request", request.experiment_id, settings)
+
+
+def execute_request(request: ExperimentRequest) -> dict:
+    """Run one :class:`ExperimentRequest` to completion, synchronously.
+
+    Importable at module top level and driven only by its picklable
+    argument, so it can be submitted to a ``ProcessPoolExecutor`` (or a
+    thread executor) via ``loop.run_in_executor`` — the asyncio serving
+    layer's offload path.  Returns a JSON-able payload: the rendered
+    result (``result_json`` is deterministic for identical requests),
+    engine cache statistics and the run's merged metrics snapshot.
+    """
+    from repro.experiments import REGISTRY
+
+    experiment = REGISTRY.get(request.experiment_id)
+    if experiment is None:
+        raise KeyError(f"unknown experiment {request.experiment_id!r}")
+    settings = ExperimentSettings.from_dict(request.overrides, request.quick)
+    cache = ResultCache(request.cache_dir) if request.use_cache else None
+    runner = Runner(jobs=request.jobs, cache=cache)
+    start = time.perf_counter()
+    result = runner.run_experiment(experiment, settings)
+    return {
+        "experiment_id": request.experiment_id,
+        "digest": request_digest(request),
+        "result_json": result.to_json(indent=2),
+        "cache_hits": runner.stats.cache_hits,
+        "cache_misses": runner.stats.cache_misses,
+        "wall_s": round(time.perf_counter() - start, 4),
+        "metrics": runner.merged_metrics,
+    }
+
+
 def sweep_jobs(
     settings: ExperimentSettings,
     allocated_fraction: float = 1.0,

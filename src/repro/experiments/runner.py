@@ -15,7 +15,7 @@ It is the default job body the engine fans out over worker processes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import SystemConfig
@@ -62,6 +62,45 @@ class ExperimentSettings:
         )
         defaults.update(overrides)
         return cls(**defaults)
+
+    @classmethod
+    def from_dict(cls, overrides=None, quick: bool = False) -> "ExperimentSettings":
+        """Build settings from a plain (JSON-decoded) override mapping.
+
+        Accepts the dataclass field names plus two wire-friendly forms:
+        ``memory_mb`` (converted to ``memory_bytes``), ``temperature``
+        as a case-insensitive mode name, and ``benchmarks`` as any
+        sequence.  Unknown keys raise ``ValueError`` so a mistyped
+        request field fails loudly instead of silently running the
+        default scale.  ``quick=True`` starts from :meth:`quick`.
+        """
+        data = dict(overrides or {})
+        if "memory_mb" in data:
+            if "memory_bytes" in data:
+                raise ValueError("give memory_mb or memory_bytes, not both")
+            data["memory_bytes"] = int(data.pop("memory_mb")) << 20
+        if "benchmarks" in data:
+            data["benchmarks"] = tuple(str(b) for b in data["benchmarks"])
+        if "temperature" in data and not isinstance(
+            data["temperature"], TemperatureMode
+        ):
+            name = str(data["temperature"]).upper()
+            try:
+                data["temperature"] = TemperatureMode[name]
+            except KeyError:
+                known = ", ".join(m.name.lower() for m in TemperatureMode)
+                raise ValueError(
+                    f"unknown temperature {data['temperature']!r}; "
+                    f"one of: {known}"
+                ) from None
+        field_names = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - field_names)
+        if unknown:
+            raise ValueError(
+                f"unknown settings field(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(field_names))}"
+            )
+        return cls.quick(**data) if quick else cls(**data)
 
     def config(self, **overrides) -> SystemConfig:
         return SystemConfig.scaled(

@@ -36,6 +36,7 @@ from repro.obs.metrics import (
     Histogram,
     empty_snapshot,
     merge_snapshots,
+    prometheus_text,
     register_histogram,
 )
 from repro.obs.probes import (
@@ -59,6 +60,7 @@ __all__ = [
     "get_watchdog",
     "instrument",
     "merge_snapshots",
+    "prometheus_text",
     "register_histogram",
     "use_probes",
     "use_watchdog",

@@ -24,6 +24,7 @@ are what make cross-process merging well defined.
 
 from __future__ import annotations
 
+import re
 from bisect import bisect_left
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -256,6 +257,103 @@ def merge_snapshots(*snapshots: dict) -> dict:
     if invariants is not None:
         out["invariants"] = invariants
     return out
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    """Sanitise a dotted metric name into a Prometheus metric name."""
+    out = _PROM_NAME_RE.sub("_", f"{prefix}_{name}" if prefix else name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _prom_value(value: Number) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _prom_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def prometheus_text(snapshot: dict, prefix: str = "repro") -> str:
+    """Render a probe-bus snapshot in Prometheus text exposition format.
+
+    Counters become ``<prefix>_<name>_total`` counters, gauges expose
+    their last value (plus ``_min``/``_max`` companion gauges when an
+    envelope exists), histograms follow the cumulative ``le`` bucket
+    convention with a ``+Inf`` bucket, ``_sum`` and ``_count`` series.
+    Phase wall times land in one ``<prefix>_phase_seconds_total``
+    family labelled by phase, and the optional ``invariants`` section
+    exports check/violation counters.  Output is deterministic (sorted
+    within each section) so identical snapshots render identical text —
+    the ``/metrics`` endpoint of :mod:`repro.serve` serves exactly this.
+    """
+    lines: List[str] = []
+
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = _prom_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(value)}")
+
+    phases = snapshot.get("phases", {})
+    if phases:
+        metric = _prom_name("phase_seconds", prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        for name, seconds in sorted(phases.items()):
+            lines.append(
+                f'{metric}{{phase="{_prom_label(name)}"}} {_prom_value(seconds)}'
+            )
+
+    events = snapshot.get("events", 0)
+    metric = _prom_name("events", prefix) + "_total"
+    lines.append(f"# TYPE {metric} counter")
+    lines.append(f"{metric} {_prom_value(events)}")
+
+    for name, gauge in sorted(snapshot.get("gauges", {}).items()):
+        if gauge.get("last") is None:
+            continue
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(gauge['last'])}")
+        for stat in ("min", "max"):
+            value = gauge.get(stat)
+            if value is not None and value != gauge["last"]:
+                lines.append(f"# TYPE {metric}_{stat} gauge")
+                lines.append(f"{metric}_{stat} {_prom_value(value)}")
+
+    for name, hist in sorted(snapshot.get("histograms", {}).items()):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(hist["bounds"], hist["counts"]):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_prom_value(float(bound))}"}} {cumulative}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{metric}_sum {_prom_value(hist['sum'])}")
+        lines.append(f"{metric}_count {hist['count']}")
+
+    inv = snapshot.get("invariants")
+    if inv is not None:
+        for field, value in (("invariant_checks", inv.get("checks", 0)),
+                             ("invariant_violations",
+                              inv.get("violation_count", 0))):
+            metric = _prom_name(field, prefix) + "_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_prom_value(value)}")
+
+    return "\n".join(lines) + "\n"
 
 
 def snapshot_totals(snapshot: dict) -> Dict[str, Number]:

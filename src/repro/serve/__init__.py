@@ -1,0 +1,48 @@
+"""``repro.serve`` — asyncio batch-serving layer for the reproduction.
+
+A long-lived, stdlib-only daemon in front of the simulator:
+
+* ``POST /v1/transform`` — encode/decode cachelines through the
+  :mod:`repro.transform` codec with request micro-batching;
+* ``POST /v1/experiments/{id}`` — run experiments through the
+  cache-aware engine, single-flighted and offloaded to worker
+  processes;
+* ``GET /healthz`` / ``GET /metrics`` — liveness and Prometheus text
+  exposition of the merged :mod:`repro.obs` snapshot.
+
+Start it with ``repro-serve`` (or ``python -m repro.serve``) and drive
+it with :mod:`repro.serve.loadgen`.  See DESIGN.md's "serving layer"
+section for the queue/batcher/worker architecture and the
+backpressure semantics.
+"""
+
+from __future__ import annotations
+
+from repro.obs import register_histogram
+
+# Serving-layer histogram bounds, registered at import so snapshots
+# merge identically wherever they are produced (server, tests, CI).
+register_histogram("serve.request_latency_s", (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0,
+))
+register_histogram("serve.batch_size", (1, 2, 4, 8, 16, 32, 64, 128))
+register_histogram("serve.experiment_wall_s", (
+    0.01, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0,
+))
+
+from repro.serve.batching import (  # noqa: E402
+    MicroBatcher,
+    TransformItem,
+    make_transform_processor,
+)
+from repro.serve.server import ReproServer, ServeConfig, serve  # noqa: E402
+
+__all__ = [
+    "MicroBatcher",
+    "ReproServer",
+    "ServeConfig",
+    "TransformItem",
+    "make_transform_processor",
+    "serve",
+]

@@ -1,0 +1,184 @@
+"""Request micro-batching: coalesce, vectorise, fan results back out.
+
+The transform endpoint's unit of work is small — a handful of
+cachelines — but the numpy codec paths amortise beautifully over many
+lines (see ``ValueTransformCodec.transform_lines_many``).
+:class:`MicroBatcher` is the generic coalescing core: submitted items
+queue up, a single collector task drains up to ``max_batch`` of them
+or as many as arrive within ``max_delay_s`` of the first, hands the
+batch to a processing callback in one call, and resolves each
+submitter's future with its own slice of the output.
+
+Correctness contract: the processor must return one result per item,
+order-aligned, and each result must equal what processing the item
+alone would produce — batching is a throughput optimisation, never a
+semantic change (the serve tests assert bit-identity against the
+single-request codec path).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.obs import NULL_PROBES
+
+
+@dataclass
+class TransformItem:
+    """One transform request: operation, lines array, target row."""
+
+    op: str  # "encode" | "decode"
+    lines: np.ndarray  # (n_lines, words_per_line)
+    row_index: int
+
+
+class MicroBatcher:
+    """Coalesce submitted items into bounded, time-boxed batches.
+
+    Parameters
+    ----------
+    process:
+        ``process(items) -> results`` called with 1..max_batch items;
+        runs on the event loop thread, so it must be fast (vectorised
+        numpy, no I/O).
+    max_batch:
+        Upper bound on items per batch.
+    max_delay_s:
+        How long the collector waits for more items after the first
+        one arrives before dispatching a partial batch.
+    probes:
+        Probe bus receiving the ``serve.batch_size`` histogram and
+        ``serve.batched_items`` counter.
+    """
+
+    def __init__(
+        self,
+        process: Callable[[List], Sequence],
+        max_batch: int = 32,
+        max_delay_s: float = 0.002,
+        probes=NULL_PROBES,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_delay_s < 0:
+            raise ValueError("max_delay_s must be non-negative")
+        self._process = process
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self.probes = probes
+        self._queue: Optional[asyncio.Queue] = None
+        self._task: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the collector task on the running event loop."""
+        if self._task is not None:
+            return
+        self._queue = asyncio.Queue()
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def close(self) -> None:
+        """Stop the collector; pending submissions get CancelledError."""
+        if self._task is None:
+            return
+        task, self._task = self._task, None
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+        if self._queue is not None:
+            while not self._queue.empty():
+                _, future = self._queue.get_nowait()
+                if not future.done():
+                    future.cancel()
+            self._queue = None
+
+    async def submit(self, item):
+        """Queue ``item`` and await its individual result."""
+        if self._queue is None:
+            raise RuntimeError("MicroBatcher is not started")
+        future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait((item, future))
+        return await future
+
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = [await self._queue.get()]
+            deadline = loop.time() + self.max_delay_s
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    if self._queue.empty():
+                        break
+                    batch.append(self._queue.get_nowait())
+                    continue
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: List) -> None:
+        items = [item for item, future in batch]
+        self.probes.observe("serve.batch_size", len(items))
+        self.probes.count("serve.batched_items", len(items))
+        try:
+            results = self._process(items)
+        except Exception as exc:
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        if len(results) != len(items):
+            exc = RuntimeError(
+                f"batch processor returned {len(results)} results "
+                f"for {len(items)} items"
+            )
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, future), result in zip(batch, results):
+            if not future.done():
+                future.set_result(result)
+
+
+def make_transform_processor(codec) -> Callable[[List[TransformItem]], List]:
+    """Batch processor vectorising transform items through ``codec``.
+
+    Encode and decode items are grouped and each group runs through the
+    codec's ``*_lines_many`` fast path in one numpy pass; results come
+    back in submission order.  Each output is bit-identical to the
+    single-request ``transform_lines``/``untransform_lines`` call — the
+    per-line stages are row-independent, so concatenating requests
+    before the vectorised pass cannot change any line's image.
+    """
+
+    def process(items: List[TransformItem]) -> List[np.ndarray]:
+        results: List[Optional[np.ndarray]] = [None] * len(items)
+        for op, method in (
+            ("encode", codec.transform_lines_many),
+            ("decode", codec.untransform_lines_many),
+        ):
+            indices = [i for i, item in enumerate(items) if item.op == op]
+            if not indices:
+                continue
+            groups = method(
+                [items[i].lines for i in indices],
+                [items[i].row_index for i in indices],
+            )
+            for i, group in zip(indices, groups):
+                results[i] = group
+        return results  # type: ignore[return-value]
+
+    return process

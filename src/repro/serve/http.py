@@ -1,0 +1,264 @@
+"""Minimal HTTP/1.1 over asyncio streams — no third-party deps.
+
+The serving layer deliberately avoids aiohttp: requests here are tiny
+JSON bodies on long-lived connections, so a ~150-line subset of
+HTTP/1.1 (request line, headers, ``Content-Length`` bodies, keep-alive)
+is all :mod:`repro.serve.server` needs, and keeping it stdlib-only
+means the daemon runs anywhere the simulator does.
+
+Server side: :func:`read_request` parses one request off a stream
+(``None`` on clean EOF) and :func:`render_response` produces the wire
+bytes.  Client side: :class:`ClientConnection` is the keep-alive
+client used by the load generator and the tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+MAX_HEADER_BYTES = 16 * 1024
+"""Bound on the request line plus headers of one request."""
+
+DEFAULT_MAX_BODY = 8 * 1024 * 1024
+"""Default bound on request body size (8 MiB)."""
+
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A request problem that maps onto one HTTP error response."""
+
+    def __init__(self, status: int, message: str,
+                 headers: Optional[Dict[str, str]] = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: start line, lower-cased headers, raw body."""
+
+    method: str
+    target: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def path(self) -> str:
+        return self.target.split("?", 1)[0]
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def json(self):
+        """The body decoded as JSON (empty body reads as ``{}``)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from None
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return b""
+        line = exc.partial
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, "header line too long") from None
+    if len(line) > MAX_HEADER_BYTES:
+        raise HttpError(413, "header line too long")
+    return line
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int = DEFAULT_MAX_BODY
+) -> Optional[HttpRequest]:
+    """Parse one request off ``reader``; ``None`` on clean EOF.
+
+    Raises :class:`HttpError` on malformed input — the connection
+    handler turns that into an error response and closes.
+    """
+    start_line = await _read_line(reader)
+    if not start_line.strip():
+        return None
+    parts = start_line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {start_line!r}")
+    method, target, _version = parts
+
+    headers: Dict[str, str] = {}
+    total = len(start_line)
+    while True:
+        line = await _read_line(reader)
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise HttpError(413, "headers too large")
+        if not line.strip():
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(501, "chunked request bodies are not supported")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "invalid Content-Length") from None
+        if length < 0:
+            raise HttpError(400, "invalid Content-Length")
+        if length > max_body:
+            raise HttpError(413, f"body exceeds {max_body} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "truncated request body") from None
+    return HttpRequest(method=method, target=target, headers=headers,
+                       body=body)
+
+
+def render_response(
+    status: int,
+    body: bytes = b"",
+    content_type: str = "application/json",
+    headers: Optional[Dict[str, str]] = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialise one response to wire bytes (always ``Content-Length``)."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_body(payload) -> bytes:
+    """Canonical JSON encoding used for every JSON response body."""
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+class ClientConnection:
+    """Keep-alive HTTP/1.1 client over one asyncio stream pair.
+
+    Used by :mod:`repro.serve.loadgen` (one connection per closed-loop
+    worker) and by the integration tests.  Not safe for concurrent
+    requests on the same instance — HTTP/1.1 pipelining is deliberately
+    out of scope.
+    """
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def __aenter__(self) -> "ClientConnection":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """Issue one request; returns ``(status, headers, body)``.
+
+        Reconnects transparently if the server closed the connection
+        between keep-alive requests.
+        """
+        if self._reader is None:
+            await self.connect()
+        payload = body or b""
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            f"Content-Length: {len(payload)}",
+        ]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        wire = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + payload
+        assert self._writer is not None and self._reader is not None
+        self._writer.write(wire)
+        await self._writer.drain()
+
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2:
+            raise ConnectionError(f"malformed status line: {status_line!r}")
+        status = int(parts[1])
+        resp_headers: Dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if not line.strip():
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            resp_headers[name.strip().lower()] = value.strip()
+        length = int(resp_headers.get("content-length", "0"))
+        resp_body = await self._reader.readexactly(length) if length else b""
+        if resp_headers.get("connection", "").lower() == "close":
+            await self.close()
+        return status, resp_headers, resp_body
+
+
+async def fetch(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[bytes] = None,
+    headers: Optional[Dict[str, str]] = None,
+) -> Tuple[int, Dict[str, str], bytes]:
+    """One-shot request on a fresh connection (open-loop client path)."""
+    async with ClientConnection(host, port) as conn:
+        return await conn.request(method, path, body=body, headers=headers)

@@ -1,0 +1,380 @@
+"""The asyncio serving daemon: admission control, offload, drain.
+
+:class:`ReproServer` is a single-process asyncio server with three
+planes:
+
+* **control** — ``GET /healthz`` and ``GET /metrics`` answer
+  immediately, bypassing admission control, so the server stays
+  observable even when saturated (the backpressure tests rely on it);
+* **transform** — ``POST /v1/transform`` requests flow through the
+  :class:`~repro.serve.batching.MicroBatcher`, which coalesces up to
+  ``batch_max`` lines-groups or ``batch_delay_s`` worth of arrivals
+  into one vectorised codec pass;
+* **experiments** — ``POST /v1/experiments/{id}`` submissions are
+  single-flighted by request digest (concurrent identical requests
+  share one execution) and offloaded to a ``ProcessPoolExecutor`` via
+  :func:`~repro.experiments.engine.execute_request`, so CPU-bound
+  simulation never blocks the event loop; the engine's
+  content-addressed result cache makes repeat submissions cache hits.
+
+Robustness is structural, not best-effort: a bounded in-flight counter
+rejects excess data-plane requests with ``429`` + ``Retry-After``
+before any work is queued for them; every data-plane request runs
+under a deadline (``504`` on expiry); and ``drain()`` — wired to
+SIGTERM/SIGINT by ``repro-serve`` — stops the listener, lets in-flight
+work finish within a grace period, and only then tears down the
+batcher and the worker pool.
+
+Observability rides the ambient :mod:`repro.obs` machinery: request
+latency / batch size / experiment wall-time histograms, an in-flight
+gauge, per-status counters, and the metrics snapshots shipped back by
+experiment workers all merge into one probe bus whose snapshot
+``GET /metrics`` renders via
+:func:`repro.obs.metrics.prometheus_text`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.experiments.engine import (
+    ExperimentRequest,
+    execute_request,
+    request_digest,
+)
+from repro.obs import ProbeBus, merge_snapshots
+from repro.serve import handlers
+from repro.serve.batching import MicroBatcher, make_transform_processor
+from repro.serve.http import (
+    DEFAULT_MAX_BODY,
+    HttpError,
+    HttpRequest,
+    read_request,
+    render_response,
+)
+from repro.transform.celltype import CellTypeLayout, CellTypePredictor
+from repro.transform.codec import ValueTransformCodec
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one serving daemon."""
+
+    host: str = "127.0.0.1"
+    port: int = 8023
+    # -- backpressure and deadlines ------------------------------------
+    max_pending: int = 64
+    request_timeout_s: float = 60.0
+    retry_after_s: int = 1
+    max_body_bytes: int = DEFAULT_MAX_BODY
+    drain_grace_s: float = 10.0
+    # -- transform micro-batching --------------------------------------
+    batch_max: int = 32
+    batch_delay_s: float = 0.002
+    num_rows: int = 4096
+    interleave: int = 512
+    # -- experiment offload --------------------------------------------
+    workers: int = 2
+    use_cache: bool = True
+    cache_dir: Optional[str] = None
+
+
+class ReproServer:
+    """One serving daemon; see the module docstring for the design."""
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 probes: Optional[ProbeBus] = None):
+        self.config = config or ServeConfig()
+        self.bus = probes if probes is not None else ProbeBus()
+        self.num_rows = self.config.num_rows
+        predictor = CellTypePredictor.from_layout(
+            CellTypeLayout(interleave=self.config.interleave),
+            num_rows=self.config.num_rows,
+        )
+        self.codec = ValueTransformCodec(predictor)
+        self.transform_batcher = MicroBatcher(
+            make_transform_processor(self.codec),
+            max_batch=self.config.batch_max,
+            max_delay_s=self.config.batch_delay_s,
+            probes=self.bus,
+        )
+        self.state = "idle"  # idle -> serving -> draining -> stopped
+        self.inflight = 0
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: "set[asyncio.Task]" = set()
+        self._executor: Optional[Executor] = None
+        self._singleflight: Dict[str, asyncio.Task] = {}
+        # created in start(): asyncio primitives bind the running loop
+        # on Python 3.9, and servers may be constructed outside one
+        self._idle_event: Optional[asyncio.Event] = None
+        self._stopped_event: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener and spawn the worker machinery."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._idle_event = asyncio.Event()
+        self._idle_event.set()
+        self._stopped_event = asyncio.Event()
+        if self.config.workers > 0:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.config.workers
+            )
+        else:
+            # workers=0: run experiment jobs on threads in-process —
+            # test/debug mode where REGISTRY monkey-patching is visible
+            self._executor = ThreadPoolExecutor(
+                max_workers=2, thread_name_prefix="repro-serve"
+            )
+        self.transform_batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        sock = self._server.sockets[0].getsockname()
+        self.host, self.port = sock[0], sock[1]
+        self.state = "serving"
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop listening, finish in-flight, stop."""
+        if self.state in ("draining", "stopped"):
+            return
+        self.state = "draining"
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._idle_event is not None:
+            try:
+                await asyncio.wait_for(
+                    self._idle_event.wait(), self.config.drain_grace_s
+                )
+            except asyncio.TimeoutError:
+                self.bus.count("serve.drain_timeouts")
+        # idle keep-alive connections are parked in read_request; they
+        # will never produce another request once the listener is gone
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        await self.transform_batcher.close()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        self.state = "stopped"
+        if self._stopped_event is not None:
+            self._stopped_event.set()
+
+    async def run_until_stopped(self, install_signals: bool = True) -> None:
+        """Serve until :meth:`drain` completes (SIGTERM/SIGINT trigger it)."""
+        if self._server is None:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        if install_signals:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(
+                        sig, lambda: loop.create_task(self.drain())
+                    )
+                except (NotImplementedError, RuntimeError):
+                    # platforms/embedded loops without signal support
+                    break
+        await self._stopped_event.wait()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, self.config.max_body_bytes
+                    )
+                except HttpError as exc:
+                    response = handlers.error_response(
+                        exc.status, exc.message, exc.headers
+                    )
+                    writer.write(render_response(
+                        response.status, response.body,
+                        response.content_type, response.headers,
+                        keep_alive=False,
+                    ))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                keep_alive = request.keep_alive and self.state == "serving"
+                response = await self._dispatch(request)
+                writer.write(render_response(
+                    response.status, response.body, response.content_type,
+                    response.headers, keep_alive=keep_alive,
+                ))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass
+        except asyncio.CancelledError:
+            # drain() cancels parked keep-alive handlers; ending the
+            # task cleanly keeps the streams teardown quiet
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, request: HttpRequest) -> handlers.Response:
+        """Route one request: control plane direct, data plane guarded."""
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        self.bus.count("serve.requests")
+        path = request.path
+
+        if path in ("/healthz", "/metrics"):
+            if request.method != "GET":
+                response = handlers.error_response(405, "use GET")
+            elif path == "/healthz":
+                response = handlers.handle_healthz(self, request)
+            else:
+                response = handlers.handle_metrics(self, request)
+            return self._finish(request, response, start)
+
+        # -- data plane: admission control, then deadline ---------------
+        if self.state != "serving":
+            return self._finish(request, handlers.error_response(
+                503, f"server is {self.state}"), start)
+        if self.inflight >= self.config.max_pending:
+            self.bus.count("serve.rejected_429")
+            return self._finish(request, handlers.error_response(
+                429, "request queue is full",
+                {"Retry-After": str(self.config.retry_after_s)}), start)
+
+        self.inflight += 1
+        self.bus.gauge("serve.queue_depth", self.inflight)
+        self._idle_event.clear()
+        try:
+            response = await asyncio.wait_for(
+                self._route(request), self.config.request_timeout_s
+            )
+        except asyncio.TimeoutError:
+            self.bus.count("serve.timeouts")
+            response = handlers.error_response(
+                504, f"deadline of {self.config.request_timeout_s}s exceeded"
+            )
+        except HttpError as exc:
+            response = handlers.error_response(
+                exc.status, exc.message, exc.headers
+            )
+        except Exception as exc:  # noqa: BLE001 - boundary of the daemon
+            self.bus.count("serve.errors")
+            response = handlers.error_response(
+                500, f"{type(exc).__name__}: {exc}"
+            )
+        finally:
+            self.inflight -= 1
+            self.bus.gauge("serve.queue_depth", self.inflight)
+            if self.inflight == 0:
+                self._idle_event.set()
+        return self._finish(request, response, start)
+
+    async def _route(self, request: HttpRequest) -> handlers.Response:
+        path = request.path
+        if path == "/v1/transform":
+            if request.method != "POST":
+                raise HttpError(405, "use POST")
+            return await handlers.handle_transform(self, request)
+        if path.startswith("/v1/experiments/"):
+            if request.method != "POST":
+                raise HttpError(405, "use POST")
+            experiment_id = path[len("/v1/experiments/"):]
+            if not experiment_id or "/" in experiment_id:
+                raise HttpError(404, f"no such route: {path}")
+            return await handlers.handle_experiment(
+                self, experiment_id, request
+            )
+        raise HttpError(404, f"no such route: {path}")
+
+    def _finish(self, request: HttpRequest, response: handlers.Response,
+                start: float) -> handlers.Response:
+        elapsed = asyncio.get_running_loop().time() - start
+        self.bus.observe("serve.request_latency_s", elapsed)
+        self.bus.count(f"serve.status.{response.status}")
+        return response
+
+    # ------------------------------------------------------------------
+    # experiment submission: single-flight + executor offload
+    # ------------------------------------------------------------------
+    async def submit_experiment(self, request: ExperimentRequest) -> dict:
+        """Run ``request``, coalescing concurrent identical submissions.
+
+        The digest covers the experiment id and fully-resolved settings
+        — the same identity the result cache keys on — so while one
+        execution is in flight every further identical submission
+        awaits it instead of spawning another worker job.  The shared
+        task is shielded: one waiter timing out does not cancel the
+        execution for the others.
+        """
+        key = request_digest(request)
+        task = self._singleflight.get(key)
+        if task is None:
+            task = asyncio.get_running_loop().create_task(
+                self._execute_experiment(request)
+            )
+            self._singleflight[key] = task
+            task.add_done_callback(
+                lambda _t, key=key: self._singleflight.pop(key, None)
+            )
+        else:
+            self.bus.count("serve.experiments_coalesced")
+        return await asyncio.shield(task)
+
+    async def _execute_experiment(self, request: ExperimentRequest) -> dict:
+        self.bus.count("serve.experiments_submitted")
+        loop = asyncio.get_running_loop()
+        payload = await loop.run_in_executor(
+            self._executor, execute_request, request
+        )
+        self.bus.count("serve.experiment_cache_hits", payload["cache_hits"])
+        self.bus.count("serve.experiment_cache_misses",
+                       payload["cache_misses"])
+        self.bus.observe("serve.experiment_wall_s", payload["wall_s"])
+        # fold the worker's simulation metrics into the server bus so
+        # /metrics exposes engine counters alongside serving metrics
+        if payload.get("metrics"):
+            self.bus.merge_snapshot(payload["metrics"])
+        return payload
+
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        """The merged observability snapshot ``/metrics`` renders."""
+        return merge_snapshots(self.bus.snapshot())
+
+
+async def serve(config: Optional[ServeConfig] = None,
+                probes: Optional[ProbeBus] = None,
+                ready=None) -> ReproServer:
+    """Start a server, announce readiness, and block until drained."""
+    server = ReproServer(config, probes=probes)
+    await server.start()
+    if ready is not None:
+        ready(server)
+    else:
+        print(f"repro-serve listening on http://{server.host}:{server.port} "
+              f"(pid {os.getpid()})", flush=True)
+    await server.run_until_stopped()
+    return server

@@ -129,6 +129,63 @@ class ValueTransformCodec:
         return out
 
     # ------------------------------------------------------------------
+    # grouped interface (vectorised over many independent requests)
+    # ------------------------------------------------------------------
+    def transform_lines_many(
+        self, line_groups: "list[np.ndarray]", row_indices: "list[int]"
+    ) -> "list[np.ndarray]":
+        """Vectorised :meth:`transform_lines` over several line groups.
+
+        ``line_groups[i]`` is a ``(n_i, words_per_line)`` array bound
+        for row ``row_indices[i]``.  The row-independent stages (EBDI,
+        bit-plane) run in one pass over the concatenation of every
+        group — this is the micro-batching fast path of the serving
+        layer — and the per-row anti-cell complement is then applied
+        group by group, so each returned group is bit-identical to
+        ``transform_lines(line_groups[i], row_indices[i])``.
+        """
+        if not line_groups:
+            return []
+        counts = [len(group) for group in line_groups]
+        flat = np.concatenate(line_groups, axis=0)
+        if self.stages.ebdi:
+            flat = self.ebdi.encode(flat, CellType.TRUE)
+        if self.stages.bitplane:
+            flat = self.bitplane.apply(flat)
+        out = []
+        offset = 0
+        for count, row_index in zip(counts, row_indices):
+            group = flat[offset:offset + count]
+            if self._store_complemented(row_index):
+                group = np.invert(group)
+            out.append(group)
+            offset += count
+        return out
+
+    def untransform_lines_many(
+        self, encoded_groups: "list[np.ndarray]", row_indices: "list[int]"
+    ) -> "list[np.ndarray]":
+        """Invert :meth:`transform_lines_many` (grouped decode path)."""
+        if not encoded_groups:
+            return []
+        counts = [len(group) for group in encoded_groups]
+        prepared = [
+            np.invert(group) if self._store_complemented(row_index) else group
+            for group, row_index in zip(encoded_groups, row_indices)
+        ]
+        flat = np.concatenate(prepared, axis=0)
+        if self.stages.bitplane:
+            flat = self.bitplane.invert(flat)
+        if self.stages.ebdi:
+            flat = self.ebdi.decode(flat, CellType.TRUE)
+        out = []
+        offset = 0
+        for count in counts:
+            out.append(flat[offset:offset + count])
+            offset += count
+        return out
+
+    # ------------------------------------------------------------------
     def encode_row(self, lines: np.ndarray, row_index: int) -> np.ndarray:
         """Encode a logical row's lines into per-chip stored words.
 

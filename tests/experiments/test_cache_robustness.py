@@ -1,0 +1,93 @@
+"""Corrupt/truncated cache entries must degrade to misses, not errors."""
+
+import pickle
+
+import pytest
+
+from repro.experiments.cache import ResultCache
+from repro.obs import ProbeBus, use_probes
+from repro.obs.probes import ListTraceSink
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+KEY = "ab" + "0" * 62
+
+
+class TestCorruptEntries:
+    def test_truncated_pickle_is_a_miss_and_is_removed(self, cache):
+        cache.put(KEY, {"result": "payload", "metrics": {}})
+        path = cache.path_for(KEY)
+        intact = path.read_bytes()
+        path.write_bytes(intact[: len(intact) // 2])  # truncate mid-stream
+
+        bus = ProbeBus()
+        with use_probes(bus):
+            assert cache.get(KEY) is None
+        assert not path.exists()  # broken entry removed
+        assert bus.counters["cache.corrupt_entries"] == 1
+
+    def test_garbage_bytes_are_a_miss(self, cache):
+        path = cache.path_for(KEY)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"this is not a pickle")
+        bus = ProbeBus()
+        with use_probes(bus):
+            assert cache.get(KEY) is None
+        assert bus.counters["cache.corrupt_entries"] == 1
+
+    def test_empty_file_is_a_miss(self, cache):
+        path = cache.path_for(KEY)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"")
+        with use_probes(ProbeBus()):
+            assert cache.get(KEY) is None
+        assert not path.exists()
+
+    def test_overwrite_after_corruption_recovers(self, cache):
+        cache.put(KEY, {"result": 1, "metrics": {}})
+        path = cache.path_for(KEY)
+        path.write_bytes(path.read_bytes()[:10])
+        with use_probes(ProbeBus()):
+            assert cache.get(KEY) is None
+        cache.put(KEY, {"result": 2, "metrics": {}})
+        assert cache.get(KEY) == {"result": 2, "metrics": {}}
+
+    def test_trace_event_emitted_when_tracing(self, cache):
+        cache.put(KEY, {"result": 1, "metrics": {}})
+        path = cache.path_for(KEY)
+        path.write_bytes(b"\x80\x05corrupt")
+        sink = ListTraceSink()
+        bus = ProbeBus(trace=sink)
+        with use_probes(bus):
+            assert cache.get(KEY) is None
+        events = [r for r in sink.records
+                  if r["event"] == "cache.corrupt_entry"]
+        assert len(events) == 1
+        assert events[0]["key"] == KEY
+        assert events[0]["error"] == "UnpicklingError"
+
+    def test_no_trace_event_without_sink(self, cache):
+        cache.put(KEY, {"result": 1, "metrics": {}})
+        cache.path_for(KEY).write_bytes(b"nope")
+        bus = ProbeBus()
+        with use_probes(bus):
+            assert cache.get(KEY) is None
+        assert bus.events_emitted == 0
+
+    def test_intact_entry_still_round_trips(self, cache):
+        payload = {"result": {"rows": [[1, 2]]}, "metrics": {"counters": {}}}
+        cache.put(KEY, payload)
+        loaded = cache.get(KEY)
+        assert loaded == payload
+        assert pickle.dumps(loaded)  # payload survived as picklable data
+
+    def test_missing_entry_is_a_silent_miss(self, cache):
+        bus = ProbeBus()
+        with use_probes(bus):
+            assert cache.get(KEY) is None
+        # plain miss: no corruption accounting
+        assert "cache.corrupt_entries" not in bus.counters

@@ -187,3 +187,15 @@ class TestInstrumentationFlags:
         payload = json.loads(bench.read_text())
         assert payload["invariants"]["checks"] > 0
         assert payload["invariants"]["violation_count"] == 0
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        from repro import api
+
+        with pytest.raises(SystemExit) as exit_info:
+            main(["--version"])
+        assert exit_info.value.code == 0
+        out = capsys.readouterr().out.strip()
+        assert out.endswith(api.version())
+        assert api.version() == "1.0.0"

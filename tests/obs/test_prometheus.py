@@ -1,0 +1,112 @@
+"""Tests for the Prometheus text exposition of probe-bus snapshots."""
+
+import pytest
+
+from repro.obs import ProbeBus, merge_snapshots
+from repro.obs.metrics import prometheus_text, register_histogram
+
+from tests.obs.promtext import histogram_view, parse_prometheus
+
+
+@pytest.fixture
+def sample_bus():
+    register_histogram("promtest.latency_s", (0.1, 0.5, 1.0))
+    bus = ProbeBus()
+    bus.count("refresh.groups_skipped", 42)
+    bus.count("cache.hits", 7)
+    bus.gauge("sys.depth", 3)
+    bus.gauge("sys.depth", 5)
+    bus.gauge("sys.depth", 4)
+    for value in (0.05, 0.2, 0.3, 0.7, 2.0):
+        bus.observe("promtest.latency_s", value)
+    with bus.phase("measure"):
+        pass
+    return bus
+
+
+class TestPrometheusText:
+    def test_parses_and_counters_match(self, sample_bus):
+        snapshot = sample_bus.snapshot()
+        metrics = parse_prometheus(prometheus_text(snapshot))
+        assert metrics["repro_refresh_groups_skipped_total"]["samples"] == [
+            ({}, 42.0)
+        ]
+        assert metrics["repro_refresh_groups_skipped_total"]["type"] == "counter"
+        assert metrics["repro_cache_hits_total"]["samples"] == [({}, 7.0)]
+
+    def test_gauge_last_min_max(self, sample_bus):
+        metrics = parse_prometheus(prometheus_text(sample_bus.snapshot()))
+        assert metrics["repro_sys_depth"]["samples"] == [({}, 4.0)]
+        assert metrics["repro_sys_depth"]["type"] == "gauge"
+        assert metrics["repro_sys_depth_min"]["samples"] == [({}, 3.0)]
+        assert metrics["repro_sys_depth_max"]["samples"] == [({}, 5.0)]
+
+    def test_histogram_buckets_are_cumulative_and_agree_with_snapshot(
+        self, sample_bus
+    ):
+        snapshot = sample_bus.snapshot()
+        metrics = parse_prometheus(prometheus_text(snapshot))
+        buckets, count, total = histogram_view(
+            metrics, "repro_promtest_latency_s"
+        )
+        hist = snapshot["histograms"]["promtest.latency_s"]
+        # cumulative reconstruction of the snapshot's per-bucket counts
+        assert buckets["0.1"] == 1
+        assert buckets["0.5"] == 3
+        assert buckets["1.0"] == 4
+        assert buckets["+Inf"] == hist["count"] == count == 5
+        assert total == pytest.approx(hist["sum"])
+        # monotone cumulative counts
+        ordered = [buckets["0.1"], buckets["0.5"], buckets["1.0"],
+                   buckets["+Inf"]]
+        assert ordered == sorted(ordered)
+
+    def test_phases_and_events(self, sample_bus):
+        metrics = parse_prometheus(prometheus_text(sample_bus.snapshot()))
+        samples = metrics["repro_phase_seconds_total"]["samples"]
+        assert len(samples) == 1
+        labels, value = samples[0]
+        assert labels == {"phase": "measure"}
+        assert value >= 0.0
+        assert metrics["repro_events_total"]["samples"] == [({}, 0.0)]
+
+    def test_invariants_section(self):
+        snapshot = merge_snapshots({
+            "counters": {}, "phases": {}, "events": 0,
+            "histograms": {}, "gauges": {},
+            "invariants": {"checks": 9, "violation_count": 2,
+                           "violations": []},
+        })
+        metrics = parse_prometheus(prometheus_text(snapshot))
+        assert metrics["repro_invariant_checks_total"]["samples"] == [({}, 9.0)]
+        assert metrics["repro_invariant_violations_total"]["samples"] == [
+            ({}, 2.0)
+        ]
+
+    def test_empty_snapshot_renders(self):
+        metrics = parse_prometheus(prometheus_text(ProbeBus().snapshot()))
+        assert metrics["repro_events_total"]["samples"] == [({}, 0.0)]
+
+    def test_deterministic_output(self, sample_bus):
+        snapshot = sample_bus.snapshot()
+        assert prometheus_text(snapshot) == prometheus_text(snapshot)
+
+    def test_name_sanitisation(self):
+        bus = ProbeBus()
+        bus.count("weird-metric.name/with:stuff")
+        text = prometheus_text(bus.snapshot())
+        assert "repro_weird_metric_name_with_stuff_total 1" in text
+        parse_prometheus(text)
+
+    def test_custom_prefix(self, sample_bus):
+        text = prometheus_text(sample_bus.snapshot(), prefix="zr")
+        metrics = parse_prometheus(text)
+        assert "zr_cache_hits_total" in metrics
+
+    def test_unset_gauges_skipped(self):
+        bus = ProbeBus()
+        snapshot = bus.snapshot()
+        snapshot["gauges"]["never.set"] = {"last": None, "min": None,
+                                           "max": None, "n": 0}
+        metrics = parse_prometheus(prometheus_text(snapshot))
+        assert "repro_never_set" not in metrics

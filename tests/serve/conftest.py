@@ -1,0 +1,15 @@
+"""Serving-layer test fixtures.
+
+Keeps the engine result cache in a per-test temporary directory so
+experiment submissions from server tests never write into the working
+tree (same policy as the experiment-test fixtures).
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache_dir(tmp_path, monkeypatch):
+    cache_dir = tmp_path / "repro-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    return cache_dir

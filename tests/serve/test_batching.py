@@ -1,0 +1,169 @@
+"""Micro-batcher coalescing and transform vectorisation bit-identity."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.obs import ProbeBus
+from repro.serve.batching import (
+    MicroBatcher,
+    TransformItem,
+    make_transform_processor,
+)
+from repro.transform.celltype import CellTypeLayout, CellTypePredictor
+from repro.transform.codec import StageSelection, ValueTransformCodec
+
+NUM_ROWS = 2048
+INTERLEAVE = 512
+
+
+def make_codec(stages=None):
+    predictor = CellTypePredictor.from_layout(
+        CellTypeLayout(interleave=INTERLEAVE), num_rows=NUM_ROWS
+    )
+    return ValueTransformCodec(predictor, stages=stages)
+
+
+def sample_lines(rng, n):
+    # mix of zero, constant and random lines, like real cache traffic
+    lines = rng.integers(0, 1 << 63, size=(n, 8), dtype=np.uint64)
+    lines[:: 3] = 0
+    lines[1:: 3] = 7
+    return lines
+
+
+class TestMicroBatcher:
+    def test_coalesces_and_returns_individual_results(self):
+        bus = ProbeBus()
+        calls = []
+
+        def process(items):
+            calls.append(len(items))
+            return [item * 2 for item in items]
+
+        async def run():
+            batcher = MicroBatcher(process, max_batch=3, max_delay_s=0.01,
+                                   probes=bus)
+            batcher.start()
+            results = await asyncio.gather(
+                *(batcher.submit(i) for i in range(7))
+            )
+            await batcher.close()
+            return results
+
+        results = asyncio.run(run())
+        assert results == [i * 2 for i in range(7)]
+        assert sum(calls) == 7
+        assert max(calls) <= 3
+        # at least one batch actually coalesced multiple items
+        assert max(calls) > 1
+        snap = bus.snapshot()
+        assert snap["counters"]["serve.batched_items"] == 7
+        assert snap["histograms"]["serve.batch_size"]["count"] == len(calls)
+
+    def test_processor_error_propagates_to_every_waiter(self):
+        def process(items):
+            raise RuntimeError("boom")
+
+        async def run():
+            batcher = MicroBatcher(process, max_batch=4, max_delay_s=0.005)
+            batcher.start()
+            results = await asyncio.gather(
+                *(batcher.submit(i) for i in range(3)),
+                return_exceptions=True,
+            )
+            await batcher.close()
+            return results
+
+        results = asyncio.run(run())
+        assert len(results) == 3
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_wrong_result_count_is_an_error(self):
+        async def run():
+            batcher = MicroBatcher(lambda items: [], max_batch=2,
+                                   max_delay_s=0.0)
+            batcher.start()
+            with pytest.raises(RuntimeError, match="0 results"):
+                await batcher.submit("x")
+            await batcher.close()
+
+        asyncio.run(run())
+
+    def test_submit_before_start_raises(self):
+        async def run():
+            batcher = MicroBatcher(lambda items: items)
+            with pytest.raises(RuntimeError, match="not started"):
+                await batcher.submit(1)
+
+        asyncio.run(run())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda items: items, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda items: items, max_delay_s=-1)
+
+
+class TestTransformProcessorBitIdentity:
+    """Batched output must equal the single-request codec path, bit for bit."""
+
+    def test_encode_matches_single_path_across_row_kinds(self):
+        codec = make_codec()
+        process = make_transform_processor(codec)
+        rng = np.random.default_rng(11)
+        # rows spanning true-cell and anti-cell blocks
+        rows = [0, 5, 511, 512, 1023, 1024, 2047]
+        items = [
+            TransformItem("encode", sample_lines(rng, 1 + i % 4), row)
+            for i, row in enumerate(rows)
+        ]
+        results = process(items)
+        for item, batched in zip(items, results):
+            single = codec.transform_lines(item.lines, item.row_index)
+            np.testing.assert_array_equal(batched, single)
+
+    def test_mixed_encode_decode_batch(self):
+        codec = make_codec()
+        process = make_transform_processor(codec)
+        rng = np.random.default_rng(12)
+        plain = [sample_lines(rng, 2) for _ in range(3)]
+        encoded = [codec.transform_lines(lines, row)
+                   for lines, row in zip(plain, (3, 600, 1500))]
+        items = [
+            TransformItem("encode", plain[0], 3),
+            TransformItem("decode", encoded[1], 600),
+            TransformItem("encode", plain[2], 1500),
+            TransformItem("decode", encoded[0], 3),
+        ]
+        results = process(items)
+        np.testing.assert_array_equal(
+            results[0], codec.transform_lines(plain[0], 3))
+        np.testing.assert_array_equal(results[1], plain[1])
+        np.testing.assert_array_equal(
+            results[2], codec.transform_lines(plain[2], 1500))
+        np.testing.assert_array_equal(results[3], plain[0])
+
+    def test_roundtrip_through_grouped_paths(self):
+        codec = make_codec()
+        rng = np.random.default_rng(13)
+        groups = [sample_lines(rng, n) for n in (1, 3, 5)]
+        rows = [10, 700, 1999]
+        encoded = codec.transform_lines_many(groups, rows)
+        decoded = codec.untransform_lines_many(encoded, rows)
+        for original, back in zip(groups, decoded):
+            np.testing.assert_array_equal(original, back)
+
+    def test_stage_selection_respected(self):
+        codec = make_codec(stages=StageSelection.none())
+        process = make_transform_processor(codec)
+        rng = np.random.default_rng(14)
+        lines = sample_lines(rng, 4)
+        [result] = process([TransformItem("encode", lines, 777)])
+        np.testing.assert_array_equal(result, lines)
+
+    def test_empty_batch(self):
+        codec = make_codec()
+        assert codec.transform_lines_many([], []) == []
+        assert codec.untransform_lines_many([], []) == []

@@ -1,0 +1,119 @@
+"""Unit tests for the minimal HTTP/1.1 layer."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.http import (
+    HttpError,
+    HttpRequest,
+    json_body,
+    read_request,
+    render_response,
+)
+
+
+def parse(wire: bytes, max_body: int = 1 << 20):
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(wire)
+        reader.feed_eof()
+        return await read_request(reader, max_body)
+
+    return asyncio.run(run())
+
+
+class TestReadRequest:
+    def test_simple_get(self):
+        request = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/healthz"
+        assert request.headers["host"] == "x"
+        assert request.body == b""
+        assert request.keep_alive
+
+    def test_post_with_body(self):
+        body = b'{"a": 1}'
+        request = parse(
+            b"POST /v1/transform HTTP/1.1\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        assert request.method == "POST"
+        assert request.body == body
+        assert request.json() == {"a": 1}
+
+    def test_query_string_stripped_from_path(self):
+        request = parse(b"GET /metrics?format=prom HTTP/1.1\r\n\r\n")
+        assert request.path == "/metrics"
+        assert request.target == "/metrics?format=prom"
+
+    def test_connection_close_disables_keep_alive(self):
+        request = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not request.keep_alive
+
+    def test_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"NONSENSE\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_malformed_header(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_body_too_large(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n" + b"x" * 100,
+                  max_body=10)
+        assert err.value.status == 413
+
+    def test_invalid_content_length(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_truncated_body(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort")
+        assert err.value.status == 400
+
+    def test_chunked_rejected(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+        assert err.value.status == 501
+
+    def test_bare_lf_line_endings_accepted(self):
+        request = parse(b"GET /healthz HTTP/1.1\nHost: x\n\n")
+        assert request.path == "/healthz"
+
+
+class TestRenderResponse:
+    def test_status_line_and_content_length(self):
+        wire = render_response(200, b"hello", content_type="text/plain")
+        assert wire.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 5\r\n" in wire
+        assert wire.endswith(b"\r\n\r\nhello")
+
+    def test_extra_headers_and_close(self):
+        wire = render_response(429, b"", headers={"Retry-After": "1"},
+                               keep_alive=False)
+        assert b"HTTP/1.1 429 Too Many Requests\r\n" in wire
+        assert b"Retry-After: 1\r\n" in wire
+        assert b"Connection: close\r\n" in wire
+
+    def test_json_body_is_canonical(self):
+        assert json_body({"b": 1, "a": 2}) == b'{"a": 2, "b": 1}\n'
+
+
+class TestHttpRequestJson:
+    def test_empty_body_reads_as_empty_object(self):
+        assert HttpRequest("POST", "/").json() == {}
+
+    def test_invalid_json_raises_400(self):
+        with pytest.raises(HttpError) as err:
+            HttpRequest("POST", "/", body=b"{nope").json()
+        assert err.value.status == 400
