@@ -30,7 +30,8 @@ def main() -> None:
     settings = api.quick_settings() if args.quick else api.default_settings()
     runner = api.make_runner(jobs=args.jobs, cache=args.cache)
     for experiment_id in args.experiments:
-        result = api.run_experiment(experiment_id, settings, runner=runner)
+        result = api.run(api.RunRequest(experiment_id, settings=settings),
+                         runner=runner)
         print(result.render())
         print()
     hits, misses = runner.stats.cache_hits, runner.stats.cache_misses

@@ -30,7 +30,8 @@ def main(argv=None) -> int:
     start = time.time()
     for name in api.list_experiments():
         exp_start = time.time()
-        result = api.run_experiment(name, settings, runner=runner)
+        result = api.run(api.RunRequest(name, settings=settings),
+                         runner=runner)
         print(result.render())
         print(f"({time.time() - exp_start:.1f}s)\n", flush=True)
     print(f"engine: {runner.summary(time.time() - start)}", file=sys.stderr)

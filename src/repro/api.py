@@ -1,38 +1,67 @@
 """The blessed public interface for running paper experiments.
 
 One entry path instead of three: ``python -m repro.experiments``,
-``run_experiments.py`` and the examples all route through this module.
+``run_experiments.py``, the examples and the serving daemon all route
+through this module — and since the run-lifecycle redesign they all
+describe a run the same way, with a :class:`RunRequest`:
 
     >>> import repro.api as api
     >>> api.list_experiments()[:3]
     ['fig04', 'tab01', 'fig05']
-    >>> result = api.run_experiment(
-    ...     "fig17", settings=api.quick_settings(), jobs=4)
+    >>> result = api.run(api.RunRequest(
+    ...     "fig17", settings=api.quick_settings(), jobs=4))
     >>> print(result.render())          # or result.to_json(), .to_csv()
 
-``run_experiment`` executes through the parallel, cache-aware engine
-(:mod:`repro.experiments.engine`): work fans out over ``jobs`` worker
-processes and every simulation point is memoised in a content-addressed
-on-disk cache, so regenerating a figure — or a second figure that
-shares simulation points with the first — reuses results instead of
-re-simulating.  Pass ``cache=False`` to force fresh simulation, or a
-``cache_dir`` to relocate the store (default: ``$REPRO_CACHE_DIR`` or
-``.repro-cache``).
+Execution goes through the parallel, cache-aware, fault-tolerant
+engine (:mod:`repro.experiments.engine`): work fans out over ``jobs``
+worker processes, every simulation point is memoised in a
+content-addressed on-disk cache, and every run journals its progress
+so a killed run resumes instead of re-simulating::
+
+    >>> result = api.run(api.RunRequest("fig17", jobs=4))
+    >>> # ... the process dies 90% through ...
+    >>> token = api.make_runner().last_run_id  # or read it off the journal
+    >>> result = api.run(api.RunRequest("fig17", jobs=4, resume=token))
+
+Pass ``cache=False`` to force fresh simulation, or a ``cache_dir`` to
+relocate the store (default: ``$REPRO_CACHE_DIR`` or ``.repro-cache``).
+Retry/timeout policy, fault injection for chaos tests, and resume
+tokens are all fields on :class:`RunRequest` — see
+:mod:`repro.experiments.lifecycle` for the field-by-field contract.
+
+**Deprecated paths.**  The pre-redesign kwarg entry points —
+:func:`run_experiment` and :func:`run_all` — still work but are thin
+shims over :func:`run`: they build the equivalent :class:`RunRequest`
+and emit a :class:`DeprecationWarning`.  New code should construct
+:class:`RunRequest` directly.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Dict, List, Optional, Union
 
 from repro.experiments import REGISTRY
 from repro.experiments.cache import ResultCache
-from repro.experiments.engine import Experiment, Runner
+from repro.experiments.engine import Experiment, RetryPolicy, Runner
+from repro.experiments.faults import FaultPlan, FaultSpec
+from repro.experiments.lifecycle import (
+    RunRequest,
+    build_runner,
+    execute,
+    execute_all,
+    resolve_jobs,
+)
 from repro.experiments.runner import ExperimentResult, ExperimentSettings
 
 __all__ = [
     "ExperimentResult",
     "ExperimentSettings",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "RunRequest",
     "Runner",
     "default_settings",
     "get_experiment",
@@ -40,6 +69,7 @@ __all__ = [
     "make_runner",
     "make_server",
     "quick_settings",
+    "run",
     "run_all",
     "run_experiment",
     "settings_from_dict",
@@ -119,21 +149,54 @@ def make_runner(
     cache: Union[bool, ResultCache] = True,
     cache_dir: Optional[os.PathLike] = None,
     watchdog: bool = False,
+    *,
+    timeout_s: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
+    journal: bool = True,
 ) -> Runner:
     """A configured engine :class:`Runner`.
 
     ``jobs=None`` uses every core; ``cache`` accepts ``True`` (default
     location), ``False`` (no caching) or a ready :class:`ResultCache`.
     ``watchdog=True`` runs every job under an invariant watchdog whose
-    findings land in the runner's metrics manifest.
+    findings land in the runner's metrics manifest.  The remaining
+    knobs mirror :class:`RunRequest`'s lifecycle policy fields.
     """
-    if isinstance(cache, ResultCache):
-        store = cache
-    elif cache:
-        store = ResultCache(cache_dir)
-    else:
-        store = None
-    return Runner(jobs=jobs, cache=store, watchdog=watchdog)
+    return build_runner(
+        jobs=jobs, cache=cache, cache_dir=cache_dir, watchdog=watchdog,
+        timeout_s=timeout_s, retry=retry, faults=faults, journal=journal,
+    )
+
+
+def run(request: RunRequest, *, runner: Optional[Runner] = None) -> ExperimentResult:
+    """Run one experiment described by a :class:`RunRequest`.
+
+    The blessed entry point: the CLI, the serving layer and the
+    deprecated kwarg shims below all land here.  Pass a shared
+    ``runner`` to reuse one cache/manifest across several requests.
+    """
+    return execute(request, runner=runner)
+
+
+def _deprecated_kwargs_request(
+    experiment_id: str,
+    settings: Optional[ExperimentSettings],
+    jobs: Optional[int],
+    cache: Union[bool, ResultCache],
+    cache_dir: Optional[os.PathLike],
+    probes,
+    watchdog: bool,
+) -> RunRequest:
+    return RunRequest(
+        experiment_id=experiment_id,
+        settings=settings,
+        jobs=resolve_jobs(jobs, probes),
+        cache=cache,
+        cache_dir=cache_dir,
+        probes=probes,
+        watchdog=watchdog,
+    )
 
 
 def run_experiment(
@@ -147,30 +210,27 @@ def run_experiment(
     probes=None,
     watchdog: bool = False,
 ) -> ExperimentResult:
-    """Run one experiment through the engine and return its result.
+    """Deprecated kwarg shim over :func:`run`.
 
-    Pass an explicit ``runner`` to share a cache/manifest across
-    several calls (the CLI does this for ``all``); otherwise one is
-    built from ``jobs``/``cache``/``cache_dir``/``watchdog``.
-
-    ``probes`` installs a :class:`repro.obs.ProbeBus` for the run's
-    duration.  The bus is per-process, so an instrumented run without
-    an explicit ``runner`` executes in-process (``jobs=1``); per-job
-    metric snapshots survive fan-out either way (see
-    ``Runner.metrics_manifest``).
+    .. deprecated::
+        Build a :class:`RunRequest` and call :func:`run` instead —
+        the request object also carries the resume/retry/timeout
+        policy this signature never grew.  Note the ``probes`` rule:
+        an instrumented run executes in-process (``jobs`` is coerced
+        to ``1``, with a :class:`RuntimeWarning` when that overrides
+        an explicit value); per-job metric snapshots survive fan-out
+        either way (see ``Runner.metrics_manifest``).
     """
-    experiment = get_experiment(experiment_id)
-    if runner is None:
-        if probes is not None:
-            jobs = 1
-        runner = make_runner(jobs=jobs, cache=cache, cache_dir=cache_dir,
-                             watchdog=watchdog)
-    if probes is None:
-        return runner.run_experiment(experiment, settings)
-    from repro.obs import use_probes
-
-    with use_probes(probes):
-        return runner.run_experiment(experiment, settings)
+    warnings.warn(
+        "repro.api.run_experiment(**kwargs) is deprecated; build a "
+        "repro.api.RunRequest and call repro.api.run()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    request = _deprecated_kwargs_request(
+        experiment_id, settings, jobs, cache, cache_dir, probes, watchdog
+    )
+    return execute(request, runner=runner)
 
 
 def run_all(
@@ -183,14 +243,23 @@ def run_all(
     probes=None,
     watchdog: bool = False,
 ) -> Dict[str, ExperimentResult]:
-    """Run every registered experiment; results keyed by id."""
-    if runner is None:
-        if probes is not None:
-            jobs = 1
-        runner = make_runner(jobs=jobs, cache=cache, cache_dir=cache_dir,
-                             watchdog=watchdog)
-    return {
-        experiment_id: run_experiment(experiment_id, settings,
-                                      runner=runner, probes=probes)
-        for experiment_id in REGISTRY
-    }
+    """Deprecated kwarg shim: run every experiment; results keyed by id.
+
+    .. deprecated::
+        Use ``repro.experiments.lifecycle.execute_all(RunRequest(...))``
+        (or :func:`run` per experiment with a shared ``runner``).  One
+        shared :class:`Runner` — honoring ``watchdog``, ``cache_dir``
+        and the rest of the policy — executes the whole sweep, so the
+        cache and metrics manifest are resolved once, not per call.
+    """
+    warnings.warn(
+        "repro.api.run_all(**kwargs) is deprecated; use "
+        "repro.experiments.lifecycle.execute_all(RunRequest(...)) or "
+        "repro.api.run() with a shared runner",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    defaults = _deprecated_kwargs_request(
+        next(iter(REGISTRY)), settings, jobs, cache, cache_dir, probes, watchdog
+    )
+    return execute_all(defaults, runner=runner)

@@ -49,6 +49,19 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes (default: all cores)")
+    parser.add_argument("--resume", metavar="RUN_ID", default=None,
+                        help="resume a journaled run: completed jobs "
+                             "replay from the cache, only the remainder "
+                             "executes (tokens print on stderr at the "
+                             "end of every cached run)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job wall-clock budget; a job over "
+                             "budget counts as a failed attempt")
+    parser.add_argument("--retries", type=int, default=None,
+                        metavar="N",
+                        help="attempts per job before quarantine "
+                             "(default 3)")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and do not write the result cache")
     parser.add_argument("--cache-dir", type=Path, default=None,
@@ -87,6 +100,12 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.bench_json is not None and not args.profile:
         parser.error("--bench-json requires --profile")
+    if args.resume is not None and args.experiment == "all":
+        parser.error("--resume names one run's journal; use it with a "
+                     "single experiment id")
+    if args.resume is not None and args.no_cache:
+        parser.error("--resume needs the cache (journal replays are "
+                     "served from it); drop --no-cache")
 
     settings = (api.quick_settings(seed=args.seed)
                 if args.quick else api.default_settings(seed=args.seed))
@@ -126,9 +145,12 @@ def main(argv=None) -> int:
 
     # The probe bus is per-process: instrumented runs stay in-process.
     jobs = 1 if instrumented else args.jobs
+    retry = (api.RetryPolicy(max_attempts=args.retries)
+             if args.retries is not None else None)
     runner = api.make_runner(jobs=jobs, cache=not args.no_cache,
                              cache_dir=args.cache_dir,
-                             watchdog=args.watchdog)
+                             watchdog=args.watchdog,
+                             timeout_s=args.job_timeout, retry=retry)
     # Tables/JSON go to stdout; timings, profiles and engine diagnostics
     # go to stderr so repeated runs produce byte-identical result
     # streams — instrumented or not.
@@ -136,12 +158,18 @@ def main(argv=None) -> int:
     try:
         for name in names:
             start = time.time()
-            result = api.run_experiment(name, settings, runner=runner,
-                                        probes=bus)
+            request = api.RunRequest(
+                experiment_id=name, settings=settings, probes=bus,
+                resume=args.resume,
+            )
+            result = api.run(request, runner=runner)
             print(result.to_json(indent=2) if args.json else result.render())
             if not args.json:
                 print()
             print(f"[{name}] {time.time() - start:.1f}s", file=sys.stderr)
+            if runner.last_run_id is not None:
+                print(f"[{name}] run id: {runner.last_run_id} "
+                      f"(resume with --resume)", file=sys.stderr)
             if args.csv_out is not None:
                 result.save_csv(args.csv_out / f"{name}.csv")
     finally:

@@ -1,0 +1,221 @@
+"""Chaos smoke driver: prove the run lifecycle survives induced faults.
+
+Three phases, each a small ``fig17`` run at micro scale, exercising the
+fault-tolerance machinery end to end through the public
+:class:`~repro.experiments.lifecycle.RunRequest` API:
+
+A. **retry-through-crash** — one worker crash plus one delayed job on a
+   two-worker pool; the plan must complete with at least one retry.
+B. **quarantine** — a job that kills its worker on every attempt; the
+   run must finish the *rest* of the plan and return the partial-failure
+   report carrying a resume token.
+C. **resume** — re-run phase B's journaled run id with the fault gone;
+   the journal must replay the completed jobs and the final result must
+   be byte-identical to an undisturbed run in a pristine cache.
+
+Run it as ``python -m repro.experiments.chaos --report chaos_report.json``;
+CI's chaos-smoke job uploads the JSON report as an artifact.  Exit
+status is non-zero when any check fails, and the report records every
+check either way — chaos that fails silently is just noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.engine import RetryPolicy
+from repro.experiments.faults import FaultPlan, FaultSpec
+from repro.experiments.lifecycle import RunRequest, execute, runner_for
+from repro.experiments.runner import ExperimentSettings
+from repro.obs import ProbeBus
+
+EXPERIMENT_ID = "fig17"
+
+#: Small enough for CI, large enough that the plan has three jobs to
+#: crash, delay and quarantine independently.
+MICRO_SETTINGS = ExperimentSettings.quick(
+    memory_bytes=8 << 20,
+    windows=1,
+    benchmarks=("mcf", "gcc", "bzip2"),
+)
+
+#: Fast backoff so induced retries don't stretch the smoke run.
+RETRY = RetryPolicy(max_attempts=3, backoff_base_s=0.01, backoff_max_s=0.05,
+                    max_worker_crashes=2)
+
+
+class ChaosReport:
+    """Accumulates named pass/fail checks; never raises mid-phase."""
+
+    def __init__(self):
+        self.checks = []
+
+    def check(self, phase: str, name: str, ok: bool, detail: str = "") -> bool:
+        self.checks.append({
+            "phase": phase, "check": name, "ok": bool(ok), "detail": detail,
+        })
+        status = "ok" if ok else "FAIL"
+        print(f"[chaos:{phase}] {name}: {status}"
+              + (f" ({detail})" if detail else ""), flush=True)
+        return bool(ok)
+
+    def error(self, phase: str, exc: BaseException) -> None:
+        self.check(phase, "completed without unexpected exception", False,
+                   f"{type(exc).__name__}: {exc}")
+
+    @property
+    def ok(self) -> bool:
+        return all(c["ok"] for c in self.checks)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "experiment": EXPERIMENT_ID,
+            "checks": self.checks,
+        }
+
+
+def _run(cache_dir: Path, *, jobs: Optional[int] = None,
+         faults: Optional[FaultPlan] = None, resume: Optional[str] = None,
+         probes: Optional[ProbeBus] = None):
+    """One lifecycle execution; returns ``(result, runner)``."""
+    request = RunRequest(
+        experiment_id=EXPERIMENT_ID,
+        settings=MICRO_SETTINGS,
+        jobs=jobs,
+        cache_dir=str(cache_dir),
+        probes=probes,
+        timeout_s=120.0,
+        retry=RETRY,
+        faults=faults,
+        resume=resume,
+    )
+    runner = runner_for(request)
+    result = execute(request, runner=runner)
+    return result, runner
+
+
+def phase_a_retry(report: ChaosReport, root: Path) -> None:
+    """Crash one worker once, delay another job — the run still lands."""
+    faults = FaultPlan((
+        FaultSpec(job_index=1, kind="crash", times=1),
+        FaultSpec(job_index=2, kind="delay", delay_s=0.2),
+    ))
+    result, runner = _run(root / "phase-a", jobs=2, faults=faults)
+    report.check("A", "run completed all jobs", not runner.failures,
+                 f"failures={len(runner.failures)}")
+    report.check("A", "result is not a partial-failure report",
+                 "PARTIAL FAILURE" not in result.title, result.title)
+    report.check("A", "crash forced at least one retry",
+                 runner.stats.retries >= 1,
+                 f"retries={runner.stats.retries}")
+    report.check("A", "both faults were injected",
+                 runner.stats.faults_injected >= 2,
+                 f"faults_injected={runner.stats.faults_injected}")
+
+
+def phase_b_quarantine(report: ChaosReport, root: Path) -> Optional[str]:
+    """A job that kills its worker every time gets quarantined; the rest
+    of the plan completes and the result carries a resume token."""
+    faults = FaultPlan((FaultSpec(job_index=1, kind="kill", times=99),))
+    result, runner = _run(root / "phase-bc", jobs=2, faults=faults)
+    report.check("B", "exactly one job quarantined",
+                 len(runner.failures) == 1,
+                 f"failures={[f.benchmark for f in runner.failures]}")
+    report.check("B", "partial-failure report returned",
+                 "PARTIAL FAILURE" in result.title, result.title)
+    report.check("B", "worker crashes were observed",
+                 runner.stats.worker_crashes >= 1,
+                 f"worker_crashes={runner.stats.worker_crashes}")
+    run_id = runner.last_run_id
+    report.check("B", "resume token available", bool(run_id),
+                 f"run_id={run_id!r}")
+    report.check("B", "resume token printed in report notes",
+                 bool(run_id) and run_id in str(result.notes or ""),
+                 str(result.notes or ""))
+    return run_id
+
+
+def phase_c_resume(report: ChaosReport, root: Path,
+                   run_id: Optional[str]) -> None:
+    """Resume phase B's run with the fault gone: journal replays the
+    completed jobs, and the result matches an undisturbed run."""
+    if not run_id:
+        report.check("C", "resume token from phase B", False,
+                     "phase B produced no run id")
+        return
+    bus = ProbeBus()
+    result, runner = _run(root / "phase-bc", resume=run_id, probes=bus)
+    counters = bus.snapshot().get("counters", {})
+    replays = counters.get("engine.journal_replays", 0)
+    report.check("C", "journal replayed the completed jobs", replays >= 2,
+                 f"journal_replays={replays}")
+    report.check("C", "resumed run completed cleanly",
+                 not runner.failures and "PARTIAL FAILURE" not in result.title,
+                 result.title)
+
+    reference, _ = _run(root / "reference")
+    report.check("C", "resumed result byte-identical to undisturbed run",
+                 result.to_json() == reference.to_json())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.chaos",
+        description="fault-injection smoke test of the run lifecycle",
+    )
+    parser.add_argument(
+        "--report", metavar="PATH", default="chaos_report.json",
+        help="where to write the JSON check report (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--work-dir", metavar="DIR", default=None,
+        help="cache workspace (default: a fresh temporary directory)",
+    )
+    args = parser.parse_args(argv)
+
+    report = ChaosReport()
+    start = time.monotonic()
+    if args.work_dir:
+        root = Path(args.work_dir)
+        root.mkdir(parents=True, exist_ok=True)
+        ctx = None
+    else:
+        ctx = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        root = Path(ctx.name)
+    try:
+        try:
+            phase_a_retry(report, root)
+        except Exception as exc:  # noqa: BLE001 - report, don't die
+            report.error("A", exc)
+        run_id = None
+        try:
+            run_id = phase_b_quarantine(report, root)
+        except Exception as exc:  # noqa: BLE001
+            report.error("B", exc)
+        try:
+            phase_c_resume(report, root, run_id)
+        except Exception as exc:  # noqa: BLE001
+            report.error("C", exc)
+    finally:
+        doc = report.to_dict()
+        doc["elapsed_s"] = round(time.monotonic() - start, 3)
+        Path(args.report).write_text(json.dumps(doc, indent=2) + "\n")
+        if ctx is not None:
+            ctx.cleanup()
+
+    failed = [c for c in report.checks if not c["ok"]]
+    print(f"[chaos] {len(report.checks) - len(failed)}/{len(report.checks)} "
+          f"checks passed in {doc['elapsed_s']}s "
+          f"(report: {args.report})", flush=True)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

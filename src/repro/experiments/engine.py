@@ -1,4 +1,4 @@
-"""Parallel, cache-aware experiment execution engine.
+"""Parallel, cache-aware, fault-tolerant experiment execution engine.
 
 The serial harness regenerated every figure by looping over
 ``REGISTRY[name](settings)``; a full sweep re-simulated the same
@@ -40,6 +40,23 @@ replay the stored snapshot so warm runs report the same simulation
 counters as cold ones.  ``Runner(watchdog=True)`` additionally installs
 a per-job :class:`~repro.obs.invariants.InvariantWatchdog` whose
 findings ride along in the snapshot's ``invariants`` section.
+
+**Run lifecycle.**  With a cache attached, every ``run_experiment``
+writes a per-run journal (:mod:`repro.experiments.journal`): a plan
+digest plus one line per completed job.  ``run_experiment(resume=...)``
+replays journaled-done jobs from the cache (counted as
+``engine.journal_replays`` on the bus) and executes only the rest —
+which is what makes a run killed 90% through a sweep cheap to finish.
+Failures are bounded rather than fatal: a job exception retries with
+exponential backoff up to :class:`RetryPolicy.max_attempts`; a job that
+keeps breaking its worker process (``BrokenProcessPool``) is re-run
+alone and quarantined after ``max_worker_crashes`` incidents; per-job
+timeouts recycle the stuck pool.  Quarantined jobs become
+:class:`JobFailure` records and the run returns a partial-failure
+:class:`ExperimentResult` carrying the resume token — the rest of the
+plan still completes and is journaled.  Deterministic chaos tests
+script all of this through a
+:class:`~repro.experiments.faults.FaultPlan`.
 """
 
 from __future__ import annotations
@@ -48,11 +65,15 @@ import importlib
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import nullcontext
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.experiments import faults as faults_mod
+from repro.experiments import journal as journal_mod
 from repro.experiments.cache import ResultCache, stable_digest
+from repro.experiments.faults import FaultPlan
 from repro.experiments.runner import ExperimentResult, ExperimentSettings
 from repro.obs import (
     ProbeBus,
@@ -87,6 +108,48 @@ class SimJob:
     seed_offset: int = 0
     fn: str = SIMULATE
     params: Optional[Dict[str, object]] = None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the runner fights for each job before giving up.
+
+    ``max_attempts`` bounds ordinary job exceptions (and timeouts);
+    ``max_worker_crashes`` bounds how often a job may take its worker
+    process down with it before being quarantined as poison.  Backoff
+    between retries is exponential: ``backoff_base_s * factor**(n-1)``
+    capped at ``backoff_max_s``.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    max_worker_crashes: int = 2
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.max_worker_crashes < 1:
+            raise ValueError("max_worker_crashes must be >= 1")
+
+    def backoff_s(self, failure_count: int) -> float:
+        """Delay before the retry that follows failure ``failure_count``."""
+        exponent = max(0, failure_count - 1)
+        return min(self.backoff_max_s,
+                   self.backoff_base_s * self.backoff_factor ** exponent)
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One quarantined job in a partial-failure report."""
+
+    digest: str
+    job_index: int
+    benchmark: str
+    error: str
+    attempts: int
+    worker_crashes: int = 0
 
 
 def resolve_job_fn(spec: str) -> Callable:
@@ -135,8 +198,16 @@ def _captured_call(fn: Callable[[], object], watchdog: bool = False):
 
 
 def _timed_execute(settings: ExperimentSettings, job: SimJob,
-                   watchdog: bool = False):
-    """Worker entry point: result, metrics snapshot, wall time, pid."""
+                   watchdog: bool = False, fault=None):
+    """Worker entry point: result, metrics snapshot, wall time, pid.
+
+    An armed :class:`~repro.experiments.faults.FaultSpec` fires *before*
+    the probe-scoped job body, so injected faults never contaminate the
+    job's metrics snapshot (which is cached and must stay identical to
+    a fault-free execution's).
+    """
+    if fault is not None:
+        faults_mod.apply_worker_fault(fault)
     start = time.perf_counter()
     result, snapshot = _captured_call(
         lambda: execute_job(settings, job), watchdog
@@ -208,6 +279,13 @@ class RunnerStats:
     cache_hits: int = 0
     cache_misses: int = 0
     sim_seconds: float = 0.0
+    retries: int = 0
+    timeouts: int = 0
+    worker_crashes: int = 0
+    quarantined: int = 0
+    journal_replays: int = 0
+    journal_resumes: int = 0
+    faults_injected: int = 0
 
     def merged_into_summary(self, elapsed_s: float) -> str:
         parts = [
@@ -217,6 +295,15 @@ class RunnerStats:
             f"{self.sim_seconds:.1f}s simulated",
             f"{elapsed_s:.1f}s elapsed",
         ]
+        for label, value in (
+            ("retries", self.retries),
+            ("timeouts", self.timeouts),
+            ("worker crashes", self.worker_crashes),
+            ("quarantined", self.quarantined),
+            ("journal replays", self.journal_replays),
+        ):
+            if value:
+                parts.append(f"{value} {label}")
         return ", ".join(parts)
 
 
@@ -229,39 +316,173 @@ class Runner:
         Worker processes for plan/reduce experiments.  ``None`` means
         ``os.cpu_count()``; ``1`` runs everything in-process.
     cache:
-        A :class:`ResultCache`, or ``None`` to disable caching.
+        A :class:`ResultCache`, or ``None`` to disable caching (which
+        also disables journaling — the journal lives under the cache
+        root and promises only cache-backed replays).
     watchdog:
         When true, every job runs under its own
         :class:`~repro.obs.invariants.InvariantWatchdog`; check and
         violation totals land in the merged metrics manifest.
+    timeout_s:
+        Per-job wall-clock budget in pool mode; a job over budget
+        counts as a failed attempt and its stuck pool is recycled.
+    retry:
+        The :class:`RetryPolicy` (default: 3 attempts, 2 worker
+        crashes, exponential backoff).
+    faults:
+        A :class:`~repro.experiments.faults.FaultPlan` for
+        deterministic chaos testing; ``None`` in production.
+    journal:
+        Set ``False`` to suppress the per-run journal even with a
+        cache attached.
+    clock / sleep:
+        Injectable time sources for the retry/backoff machinery
+        (tests pass fakes; production uses ``time.monotonic`` /
+        ``time.sleep``).
     """
+
+    _POOL_TICK_S = 0.05
 
     def __init__(
         self,
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         watchdog: bool = False,
+        *,
+        timeout_s: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
+        journal: bool = True,
+        clock: Optional[Callable[[], float]] = None,
+        sleep: Optional[Callable[[float], None]] = None,
     ):
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.cache = cache
         self.watchdog = watchdog
+        self.timeout_s = timeout_s
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.faults = faults if faults else None
+        self.journal_enabled = journal
+        self._clock = clock if clock is not None else time.monotonic
+        self._sleep = sleep if sleep is not None else time.sleep
         self.manifest: List[dict] = []
         self.stats = RunnerStats()
         self.merged_metrics: dict = empty_snapshot()
         self.metrics_entries: List[dict] = []
+        self.failures: List[JobFailure] = []
+        self.last_run_id: Optional[str] = None
         self._metric_keys: set = set()
+        self._journal: Optional[journal_mod.RunJournal] = None
+        self._resume_keys: Set[str] = set()
+        self._job_index: Dict[str, int] = {}
+        self._tries: Dict[str, int] = {}
+        self._failcount: Dict[str, int] = {}
+        self._crashes: Dict[str, int] = {}
+        self._runner_faults_applied: set = set()
 
     # ------------------------------------------------------------------
     def run_experiment(
-        self, experiment: Experiment, settings: Optional[ExperimentSettings] = None
+        self,
+        experiment: Experiment,
+        settings: Optional[ExperimentSettings] = None,
+        *,
+        run_id: Optional[str] = None,
+        resume: Optional[str] = None,
     ) -> ExperimentResult:
+        """Run one experiment; journal progress; survive job failures.
+
+        ``resume`` names a previous run's journal: its completed jobs
+        replay from the cache and only the remainder executes.
+        ``run_id`` overrides the journal's (otherwise deterministic)
+        name for this run.  When jobs were quarantined the returned
+        result is a partial-failure report instead of the experiment's
+        reduction; completed work is cached and journaled either way.
+        """
         if settings is None:
             settings = ExperimentSettings()
+        failures_before = len(self.failures)
         if experiment.is_legacy:
-            return self._run_legacy(experiment, settings)
-        jobs = experiment.plan(settings)
-        results = self.run_jobs(experiment.experiment_id, settings, jobs)
+            key = (
+                self.cache.experiment_key(experiment.experiment_id, settings)
+                if self.cache
+                else stable_digest((experiment.experiment_id, settings))
+            )
+            self._open_journal(experiment.experiment_id, settings, [key],
+                               run_id, resume)
+            try:
+                return self._run_legacy(experiment, settings, key)
+            finally:
+                self._close_journal()
+        plan = experiment.plan(settings)
+        keys = self._plan_keys(settings, plan)
+        self._open_journal(experiment.experiment_id, settings, keys,
+                           run_id, resume)
+        try:
+            results = self.run_jobs(
+                experiment.experiment_id, settings, plan, keys=keys
+            )
+        finally:
+            self._close_journal()
+        failures = self.failures[failures_before:]
+        if failures:
+            return self._partial_failure_result(
+                experiment.experiment_id, len(plan), failures
+            )
         return experiment.reduce(settings, results)
+
+    # ------------------------------------------------------------------
+    # journal lifecycle
+    # ------------------------------------------------------------------
+    def _plan_keys(self, settings: ExperimentSettings,
+                   jobs: Sequence[SimJob]) -> List[str]:
+        return [
+            self.cache.job_key(settings, job) if self.cache
+            else stable_digest(job)
+            for job in jobs
+        ]
+
+    def _open_journal(self, experiment_id: str, settings: ExperimentSettings,
+                      keys: Sequence[str], run_id: Optional[str],
+                      resume: Optional[str]) -> None:
+        self._journal = None
+        self._resume_keys = set()
+        self.last_run_id = None
+        if self.cache is None or not self.journal_enabled:
+            return
+        plan_digest = stable_digest("plan", list(keys))
+        settings_digest = stable_digest(settings)
+        rid = resume or run_id or journal_mod.default_run_id(
+            experiment_id, settings
+        )
+        ambient = get_probes()
+        prior = None
+        if resume is not None:
+            prior = journal_mod.load_state(self.cache.root, resume)
+            if prior is None:
+                ambient.count("engine.journal_missing")
+            else:
+                if prior.truncated:
+                    ambient.count("engine.journal_corrupt")
+                if prior.plan_digest != plan_digest:
+                    # a journal for a different plan (code or settings
+                    # changed underneath the token): start clean
+                    ambient.count("engine.journal_stale")
+                    prior = None
+                else:
+                    self._resume_keys = set(prior.done)
+                    self.stats.journal_resumes += 1
+                    ambient.count("engine.journal_resumes")
+        self._journal = journal_mod.RunJournal.start(
+            self.cache.root, rid, experiment_id=experiment_id,
+            plan_digest=plan_digest, settings_digest=settings_digest,
+            prior=prior,
+        )
+        self.last_run_id = rid
+
+    def _close_journal(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
 
     # ------------------------------------------------------------------
     def run_jobs(
@@ -269,19 +490,26 @@ class Runner:
         experiment_id: str,
         settings: ExperimentSettings,
         jobs: Sequence[SimJob],
+        keys: Optional[Sequence[str]] = None,
     ) -> list:
         """Execute ``jobs``, returning results in plan order.
 
         Identical jobs are computed once; cached results are served
-        without touching a worker.
+        without touching a worker.  Quarantined jobs yield ``None`` in
+        the returned list (and a :class:`JobFailure` on ``failures``).
         """
-        keys = [
-            self.cache.job_key(settings, job) if self.cache else stable_digest(job)
-            for job in jobs
-        ]
+        if keys is None:
+            keys = self._plan_keys(settings, jobs)
+        self._job_index = {}
+        for index, key in enumerate(keys):
+            self._job_index.setdefault(key, index)
+        self._tries = {}
+        self._failcount = {}
+        self._crashes = {}
         results: Dict[str, object] = {}
         metrics: Dict[str, Optional[dict]] = {}
         hit_keys = set()
+        replayed = set()
         pending: Dict[str, SimJob] = {}
         ambient = get_probes()
         for job, key in zip(jobs, keys):
@@ -293,6 +521,14 @@ class Runner:
                 results[key] = result
                 metrics[key] = snapshot
                 hit_keys.add(key)
+                if key in self._resume_keys:
+                    # a journaled-done job served from cache: the whole
+                    # point of resume, counted so tests can assert it
+                    replayed.add(key)
+                    self.stats.journal_replays += 1
+                    ambient.count("engine.journal_replays")
+                if self._journal is not None:
+                    self._journal.record_done(key)
                 # cache hits replay their stored metrics, so a warm run
                 # reports the same simulation counters as a cold one
                 if ambient.enabled and snapshot:
@@ -304,9 +540,15 @@ class Runner:
         self._merge_metrics(keys, metrics)
 
         settings_digest = stable_digest(settings)
+        failed_keys = {f.digest for f in self.failures}
         for index, (job, key) in enumerate(zip(jobs, keys)):
             hit = key in hit_keys
             wall_s, worker = timings.get(key, (0.0, None))
+            extra = {}
+            if key in replayed:
+                extra["journal_replay"] = True
+            if key in failed_keys and key not in results:
+                extra["failed"] = True
             self._record(
                 experiment_id=experiment_id,
                 job_index=index,
@@ -318,9 +560,12 @@ class Runner:
                 cache_hit=hit,
                 wall_s=0.0 if hit else wall_s,
                 worker=worker,
+                **extra,
             )
-        return [results[key] for key in keys]
+        return [results.get(key) for key in keys]
 
+    # ------------------------------------------------------------------
+    # execution: serial and pool paths share the retry bookkeeping
     # ------------------------------------------------------------------
     def _execute_pending(
         self,
@@ -334,29 +579,276 @@ class Runner:
         if not pending:
             return timings
         if self.jobs > 1 and len(pending) > 1:
-            workers = min(self.jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(_timed_execute, settings, job, self.watchdog): key
-                    for key, job in pending.items()
-                }
-                remaining = set(futures)
-                while remaining:
-                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        key = futures[future]
-                        result, snapshot, wall_s, worker = future.result()
-                        self._complete(key, result, snapshot, wall_s, worker,
-                                       results, metrics, timings)
+            self._execute_pool(settings, pending, results, metrics, timings)
         else:
-            for key, job in pending.items():
-                result, snapshot, wall_s, worker = _timed_execute(
-                    settings, job, self.watchdog
-                )
-                self._complete(key, result, snapshot, wall_s, worker,
-                               results, metrics, timings)
+            self._execute_serial(settings, pending, results, metrics, timings)
         return timings
 
+    def _execute_serial(self, settings, pending, results, metrics,
+                        timings) -> None:
+        for key, job in pending.items():
+            while True:
+                fault = self._armed_fault(key, in_process=True)
+                try:
+                    result, snapshot, wall_s, worker = _timed_execute(
+                        settings, job, self.watchdog, fault
+                    )
+                except Exception as exc:  # noqa: BLE001 - retry boundary
+                    backoff = self._note_failure(key, job, exc)
+                    if backoff is None:
+                        break
+                    self._sleep(backoff)
+                    continue
+                self._complete(key, result, snapshot, wall_s, worker,
+                               results, metrics, timings)
+                break
+
+    def _execute_pool(self, settings, pending, results, metrics,
+                      timings) -> None:
+        """Pool scheduler: batches, crash attribution, quarantine.
+
+        A key with a worker-crash on record is a *suspect* and re-runs
+        alone in its own fresh pool, so a repeat crash attributes
+        unambiguously (and collateral victims of a shared pool break
+        exonerate themselves by completing solo).  If the pool keeps
+        dying before any job makes progress, the remainder falls back
+        to in-process execution.
+        """
+        queue = dict(pending)
+        stalls = 0
+        while queue:
+            suspects = [k for k in queue if self._crashes.get(k, 0) > 0]
+            batch_keys = suspects[:1] if suspects else list(queue)
+            batch = {k: queue[k] for k in batch_keys}
+            completed, quarantined, progressed = self._run_pool_batch(
+                settings, batch, results, metrics, timings
+            )
+            for key in completed | quarantined:
+                queue.pop(key, None)
+            if progressed:
+                stalls = 0
+                continue
+            stalls += 1
+            if stalls >= 2:
+                # the pool dies before anything runs (environment-level
+                # breakage, not one poisoned job): finish in-process,
+                # where a kill fault degrades to a plain crash
+                self._execute_serial(settings, dict(queue), results,
+                                     metrics, timings)
+                return
+
+    def _run_pool_batch(self, settings, batch, results, metrics,
+                        timings) -> Tuple[set, set, bool]:
+        completed: set = set()
+        quarantined: set = set()
+        crash_seen = False
+        workers = min(self.jobs, len(batch))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        inflight: Dict[object, str] = {}
+        started: Dict[str, float] = {}
+        not_before: Dict[str, float] = {}
+        waiting = list(batch.items())
+        broke = False
+        try:
+            while inflight or waiting:
+                now = self._clock()
+                if waiting:
+                    still = []
+                    for key, job in waiting:
+                        if not_before.get(key, 0.0) > now:
+                            still.append((key, job))
+                            continue
+                        fault = self._armed_fault(key, in_process=False)
+                        try:
+                            fut = pool.submit(_timed_execute, settings, job,
+                                              self.watchdog, fault)
+                        except Exception:  # noqa: BLE001 - pool already dead
+                            self._tries[key] -= 1
+                            still.append((key, job))
+                            broke = True
+                            break
+                        inflight[fut] = key
+                    waiting = still
+                    if broke:
+                        break
+                if not inflight:
+                    # everything left is backing off
+                    delay = min(not_before.values()) - self._clock()
+                    self._sleep(max(delay, 0.001))
+                    continue
+                done, _ = wait(set(inflight), timeout=self._POOL_TICK_S,
+                               return_when=FIRST_COMPLETED)
+                now = self._clock()
+                for fut, key in inflight.items():
+                    if fut not in done and key not in started and fut.running():
+                        started[key] = now
+                broken_keys = set()
+                for fut in done:
+                    key = inflight.pop(fut)
+                    started.pop(key, None)
+                    try:
+                        result, snapshot, wall_s, worker = fut.result()
+                    except BrokenProcessPool:
+                        broken_keys.add(key)
+                        continue
+                    except Exception as exc:  # noqa: BLE001 - retry boundary
+                        backoff = self._note_failure(key, batch[key], exc)
+                        if backoff is None:
+                            quarantined.add(key)
+                        else:
+                            not_before[key] = self._clock() + backoff
+                            waiting.append((key, batch[key]))
+                        continue
+                    self._complete(key, result, snapshot, wall_s, worker,
+                                   results, metrics, timings)
+                    completed.add(key)
+                if broken_keys:
+                    # the pool is dead; every job it still held shared
+                    # its fate — each takes a crash on its record and
+                    # re-runs alone (see _execute_pool)
+                    broke = True
+                    crash_seen = True
+                    victims = broken_keys | set(inflight.values())
+                    inflight.clear()
+                    self.stats.worker_crashes += 1
+                    get_probes().count("engine.worker_crashes")
+                    for key in victims:
+                        crashes = self._crashes[key] = (
+                            self._crashes.get(key, 0) + 1
+                        )
+                        if crashes >= self.retry.max_worker_crashes:
+                            self._quarantine(
+                                key, batch[key],
+                                error=(f"worker process crashed {crashes}x "
+                                       f"running this job"),
+                            )
+                            quarantined.add(key)
+                    break
+                if self.timeout_s is not None:
+                    overdue = [k for k, t0 in started.items()
+                               if now - t0 > self.timeout_s]
+                    if overdue:
+                        key = overdue[0]
+                        self.stats.timeouts += 1
+                        get_probes().count("engine.job_timeouts")
+                        exc = TimeoutError(
+                            f"job exceeded per-job timeout of "
+                            f"{self.timeout_s}s"
+                        )
+                        backoff = self._note_failure(key, batch[key], exc)
+                        if backoff is None:
+                            quarantined.add(key)
+                        # the stuck worker cannot be reclaimed; recycle
+                        # the pool (innocent in-flight jobs re-run in
+                        # the next batch)
+                        broke = True
+                        break
+        finally:
+            if broke:
+                self._kill_pool(pool)
+            else:
+                pool.shutdown(wait=True)
+        progressed = bool(completed or quarantined or crash_seen)
+        return completed, quarantined, progressed
+
+    @staticmethod
+    def _kill_pool(pool) -> None:
+        """Tear down a broken/stuck pool without waiting on its workers."""
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except Exception:  # noqa: BLE001 - already dead
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except TypeError:  # pragma: no cover - python < 3.9
+            pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # retry / fault bookkeeping
+    # ------------------------------------------------------------------
+    def _armed_fault(self, key: str, in_process: bool):
+        """Consume one try for ``key``; return its armed fault, if any."""
+        tries = self._tries[key] = self._tries.get(key, 0) + 1
+        if self.faults is None:
+            return None
+        spec = self.faults.worker_fault(self._job_index.get(key, -1), tries)
+        if spec is None:
+            return None
+        if in_process and spec.kind == "kill":
+            spec = spec.as_crash()
+        self.stats.faults_injected += 1
+        get_probes().count("engine.faults_injected")
+        return spec
+
+    def _note_failure(self, key: str, job: SimJob, exc: BaseException):
+        """Record a failed attempt; backoff seconds, or ``None`` when
+        the job is out of attempts and has been quarantined."""
+        ambient = get_probes()
+        fails = self._failcount[key] = self._failcount.get(key, 0) + 1
+        ambient.count("engine.job_failures")
+        if fails >= self.retry.max_attempts:
+            self._quarantine(key, job, error=f"{type(exc).__name__}: {exc}")
+            return None
+        self.stats.retries += 1
+        ambient.count("engine.retries")
+        return self.retry.backoff_s(fails)
+
+    def _quarantine(self, key: str, job: SimJob, error: str) -> None:
+        failure = JobFailure(
+            digest=key,
+            job_index=self._job_index.get(key, -1),
+            benchmark=job.benchmark,
+            error=error,
+            attempts=self._tries.get(key, 0),
+            worker_crashes=self._crashes.get(key, 0),
+        )
+        self.failures.append(failure)
+        self.stats.quarantined += 1
+        get_probes().count("engine.quarantined_jobs")
+        if self._journal is not None:
+            self._journal.record_failed(
+                key, error=error, attempts=failure.attempts,
+                worker_crashes=failure.worker_crashes,
+            )
+
+    def _partial_failure_result(self, experiment_id: str, total_jobs: int,
+                                failures: List[JobFailure]) -> ExperimentResult:
+        rows = [
+            [f.job_index, f.benchmark, f.error, f.attempts, f.worker_crashes]
+            for f in sorted(failures, key=lambda f: f.job_index)
+        ]
+        resume_hint = (
+            f"; resume with run_id {self.last_run_id!r}"
+            if self.last_run_id else ""
+        )
+        return ExperimentResult(
+            experiment_id=experiment_id,
+            title="PARTIAL FAILURE: quarantined jobs",
+            headers=["job", "benchmark", "error", "attempts",
+                     "worker_crashes"],
+            rows=rows,
+            notes=(f"{len(failures)} of {total_jobs} planned jobs "
+                   f"quarantined; completed jobs are cached and "
+                   f"journaled{resume_hint}"),
+        )
+
+    def _apply_runner_faults(self, key: str) -> None:
+        index = self._job_index.get(key, -1)
+        for spec in self.faults.runner_faults(index):
+            marker = (index, spec.kind)
+            if marker in self._runner_faults_applied:
+                continue
+            self._runner_faults_applied.add(marker)
+            self.stats.faults_injected += 1
+            get_probes().count("engine.faults_injected")
+            if spec.kind == "corrupt-cache":
+                if self.cache is not None:
+                    faults_mod.corrupt_cache_entry(self.cache, key)
+            elif spec.kind == "abort-run":  # pragma: no cover - kills us
+                faults_mod.abort_run()
+
+    # ------------------------------------------------------------------
     def _complete(self, key, result, snapshot, wall_s, worker,
                   results, metrics, timings) -> None:
         results[key] = result
@@ -364,11 +856,17 @@ class Runner:
         timings[key] = (wall_s, worker)
         if self.cache:
             self.cache.put(key, _pack_cached(result, snapshot))
+        if self._journal is not None:
+            # cache first, then journal: a journal line is only ever a
+            # promise the cache can keep
+            self._journal.record_done(key)
         # freshly executed jobs fold into the ambient bus so --profile
         # and --trace runs see their counters and phase times live
         ambient = get_probes()
         if ambient.enabled and snapshot:
             ambient.merge_snapshot(snapshot, include_phases=True)
+        if self.faults is not None:
+            self._apply_runner_faults(key)
 
     def _merge_metrics(self, keys: Sequence[str],
                        metrics: Dict[str, Optional[dict]]) -> None:
@@ -393,18 +891,25 @@ class Runner:
 
     # ------------------------------------------------------------------
     def _run_legacy(
-        self, experiment: Experiment, settings: ExperimentSettings
+        self, experiment: Experiment, settings: ExperimentSettings,
+        key: Optional[str] = None,
     ) -> ExperimentResult:
         """The unmigrated-``run()`` shim: whole-result caching, serial."""
-        key = (
-            self.cache.experiment_key(experiment.experiment_id, settings)
-            if self.cache
-            else None
-        )
+        if key is None:
+            key = (
+                self.cache.experiment_key(experiment.experiment_id, settings)
+                if self.cache
+                else stable_digest((experiment.experiment_id, settings))
+            )
         cached = self.cache.get(key) if self.cache else None
         if cached is not None:
             result, snapshot = _unpack_cached(cached)
             ambient = get_probes()
+            if key in self._resume_keys:
+                self.stats.journal_replays += 1
+                ambient.count("engine.journal_replays")
+            if self._journal is not None:
+                self._journal.record_done(key)
             if ambient.enabled and snapshot:
                 ambient.merge_snapshot(snapshot)
             self._merge_metrics([key], {key: snapshot})
@@ -429,12 +934,11 @@ class Runner:
         ambient = get_probes()
         if ambient.enabled and snapshot:
             ambient.merge_snapshot(snapshot, include_phases=True)
-        legacy_key = key if key is not None else stable_digest(
-            (experiment.experiment_id, settings)
-        )
-        self._merge_metrics([legacy_key], {legacy_key: snapshot})
+        self._merge_metrics([key], {key: snapshot})
         if self.cache:
             self.cache.put(key, _pack_cached(result, snapshot))
+        if self._journal is not None:
+            self._journal.record_done(key)
         self._record(
             experiment_id=experiment.experiment_id,
             job_index=0,
@@ -508,9 +1012,10 @@ class ExperimentRequest:
 
     This is the unit :mod:`repro.serve` ships to a worker process: it
     names the experiment, carries the settings overrides in wire form
-    (see :meth:`ExperimentSettings.from_dict`) and the cache location,
-    and nothing else — so :func:`execute_request` can run it in any
-    process with no shared state beyond the on-disk result cache.
+    (see :meth:`ExperimentSettings.from_dict`), the cache location and
+    the resume/retry policy, and nothing else — so
+    :func:`execute_request` can run it in any process with no shared
+    state beyond the on-disk result cache and journal.
     """
 
     experiment_id: str
@@ -519,6 +1024,9 @@ class ExperimentRequest:
     use_cache: bool = True
     cache_dir: Optional[str] = None
     jobs: int = 1
+    resume: Optional[str] = None
+    timeout_s: Optional[float] = None
+    max_attempts: Optional[int] = None
 
 
 def request_digest(request: ExperimentRequest) -> str:
@@ -526,11 +1034,17 @@ def request_digest(request: ExperimentRequest) -> str:
 
     Two requests that must produce byte-identical results — same
     experiment, same settings — share a digest even if one disables
-    the cache; the serving layer uses this for single-flight
-    coalescing of concurrent identical submissions.
+    the cache or carries a resume token; the serving layer uses this
+    for single-flight coalescing of concurrent identical submissions.
     """
     settings = ExperimentSettings.from_dict(request.overrides, request.quick)
     return stable_digest("experiment-request", request.experiment_id, settings)
+
+
+def request_run_id(request: ExperimentRequest) -> str:
+    """The deterministic journal run id this request will write under."""
+    settings = ExperimentSettings.from_dict(request.overrides, request.quick)
+    return journal_mod.default_run_id(request.experiment_id, settings)
 
 
 def execute_request(request: ExperimentRequest) -> dict:
@@ -539,20 +1053,35 @@ def execute_request(request: ExperimentRequest) -> dict:
     Importable at module top level and driven only by its picklable
     argument, so it can be submitted to a ``ProcessPoolExecutor`` (or a
     thread executor) via ``loop.run_in_executor`` — the asyncio serving
-    layer's offload path.  Returns a JSON-able payload: the rendered
-    result (``result_json`` is deterministic for identical requests),
-    engine cache statistics and the run's merged metrics snapshot.
+    layer's offload path.  Internally the request is translated to a
+    :class:`repro.experiments.lifecycle.RunRequest`, so serve-submitted
+    runs get exactly the same journal/retry/resume lifecycle as API and
+    CLI runs.  Returns a JSON-able payload: the rendered result
+    (``result_json`` is deterministic for identical requests), engine
+    cache statistics, the run's merged metrics snapshot, its resume
+    token (``run_id``) and any partial-failure records.
     """
     from repro.experiments import REGISTRY
+    from repro.experiments.lifecycle import RunRequest, execute, runner_for
 
-    experiment = REGISTRY.get(request.experiment_id)
-    if experiment is None:
+    if request.experiment_id not in REGISTRY:
         raise KeyError(f"unknown experiment {request.experiment_id!r}")
     settings = ExperimentSettings.from_dict(request.overrides, request.quick)
-    cache = ResultCache(request.cache_dir) if request.use_cache else None
-    runner = Runner(jobs=request.jobs, cache=cache)
+    retry = (RetryPolicy(max_attempts=request.max_attempts)
+             if request.max_attempts else None)
+    run_request = RunRequest(
+        experiment_id=request.experiment_id,
+        settings=settings,
+        jobs=request.jobs,
+        cache=request.use_cache,
+        cache_dir=request.cache_dir,
+        timeout_s=request.timeout_s,
+        retry=retry,
+        resume=request.resume,
+    )
+    runner = runner_for(run_request)
     start = time.perf_counter()
-    result = runner.run_experiment(experiment, settings)
+    result = execute(run_request, runner=runner)
     return {
         "experiment_id": request.experiment_id,
         "digest": request_digest(request),
@@ -561,6 +1090,10 @@ def execute_request(request: ExperimentRequest) -> dict:
         "cache_misses": runner.stats.cache_misses,
         "wall_s": round(time.perf_counter() - start, 4),
         "metrics": runner.merged_metrics,
+        "run_id": runner.last_run_id,
+        "retries": runner.stats.retries,
+        "journal_replays": runner.stats.journal_replays,
+        "failures": [asdict(f) for f in runner.failures],
     }
 
 

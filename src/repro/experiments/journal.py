@@ -1,0 +1,185 @@
+"""Append-only per-run journals: what a killed run leaves behind.
+
+A :class:`~repro.experiments.engine.Runner` executing an experiment
+writes one JSONL journal under ``<cache-root>/journal/<run-id>.jsonl``:
+a header line binding the run to its *plan digest* (the ordered job
+digests), then one line per job as it completes or is quarantined.
+Because job results land in the content-addressed cache before their
+journal line is written, a journal line is a promise the cache can
+keep: resuming a run replays every journaled-done job straight from
+the cache and re-executes only the remainder.
+
+Journal format (schema 1)::
+
+    {"kind": "header", "schema": 1, "run_id": ..., "experiment_id": ...,
+     "plan_digest": ..., "settings_digest": ...}
+    {"kind": "job", "key": <job digest>, "status": "done"}
+    {"kind": "job", "key": ..., "status": "failed", "error": ...,
+     "attempts": ..., "worker_crashes": ...}
+
+Loading is tolerant by construction: parsing stops at the first
+corrupt line (a run killed mid-``write`` leaves a truncated tail) and
+whatever parsed before it is trusted — the append-only discipline
+makes every prefix a consistent state.  A corrupt *header* means the
+journal carries no usable state and the run restarts clean; both cases
+are counted on the probe bus (``engine.journal_corrupt``).
+
+Run ids default to a deterministic token derived from the experiment
+id and settings (:func:`default_run_id`), so "resume the run I just
+lost" needs no bookkeeping beyond re-issuing the same request.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Set
+
+from repro.experiments.cache import stable_digest
+
+JOURNAL_SCHEMA = 1
+
+_SAFE_RUN_ID = re.compile(r"^[A-Za-z0-9._-]{1,128}$")
+
+
+def default_run_id(experiment_id: str, settings) -> str:
+    """Deterministic resume token for one (experiment, settings) pair."""
+    return f"{experiment_id}-{stable_digest('run', experiment_id, settings)[:12]}"
+
+
+def journal_dir(cache_root) -> Path:
+    return Path(cache_root) / "journal"
+
+
+def journal_path(cache_root, run_id: str) -> Path:
+    """Where ``run_id``'s journal lives; unsafe ids are hashed."""
+    if not _SAFE_RUN_ID.match(run_id):
+        run_id = f"run-{stable_digest('run-id', run_id)[:24]}"
+    return journal_dir(cache_root) / f"{run_id}.jsonl"
+
+
+@dataclass
+class JournalState:
+    """Everything a parsed journal knows about a previous run."""
+
+    run_id: str
+    experiment_id: str
+    plan_digest: str
+    settings_digest: str
+    done: Set[str] = field(default_factory=set)
+    failed: Dict[str, dict] = field(default_factory=dict)
+    truncated: bool = False
+
+
+def load_state(cache_root, run_id: str) -> Optional[JournalState]:
+    """Parse a journal; ``None`` when absent or its header is unusable.
+
+    Sets ``truncated`` when a corrupt tail was discarded — callers
+    count that on the bus but still use the surviving prefix.
+    """
+    path = journal_path(cache_root, run_id)
+    try:
+        raw = path.read_text(encoding="utf-8", errors="replace")
+    except (FileNotFoundError, OSError):
+        return None
+    state: Optional[JournalState] = None
+    for line in raw.splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+            kind = record["kind"]
+        except (ValueError, TypeError, KeyError):
+            if state is not None:
+                state.truncated = True
+            return state
+        if state is None:
+            if kind != "header" or record.get("schema") != JOURNAL_SCHEMA:
+                return None
+            try:
+                state = JournalState(
+                    run_id=record["run_id"],
+                    experiment_id=record["experiment_id"],
+                    plan_digest=record["plan_digest"],
+                    settings_digest=record["settings_digest"],
+                )
+            except KeyError:
+                return None
+            continue
+        if kind != "job":
+            continue
+        try:
+            key = record["key"]
+            status = record["status"]
+        except KeyError:
+            state.truncated = True
+            return state
+        if status == "done":
+            state.done.add(key)
+            state.failed.pop(key, None)
+        elif status == "failed":
+            state.failed[key] = record
+    return state
+
+
+class RunJournal:
+    """The append side: one open journal file, flushed per record."""
+
+    def __init__(self, path: Path, fh):
+        self.path = path
+        self._fh = fh
+        self.recorded: Set[str] = set()
+
+    @classmethod
+    def start(cls, cache_root, run_id: str, *, experiment_id: str,
+              plan_digest: str, settings_digest: str,
+              prior: Optional[JournalState] = None) -> "RunJournal":
+        """Open ``run_id``'s journal for appending.
+
+        With a usable ``prior`` state (same plan digest) the existing
+        file is extended and its done-set pre-seeded so replayed jobs
+        are not re-recorded; otherwise the file is rewritten with a
+        fresh header.
+        """
+        path = journal_path(cache_root, run_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        resume = (prior is not None and prior.plan_digest == plan_digest
+                  and not prior.truncated)
+        fh = path.open("a" if resume else "w", encoding="utf-8")
+        journal = cls(path, fh)
+        if resume:
+            journal.recorded = set(prior.done)
+        else:
+            journal._append({
+                "kind": "header", "schema": JOURNAL_SCHEMA,
+                "run_id": run_id, "experiment_id": experiment_id,
+                "plan_digest": plan_digest,
+                "settings_digest": settings_digest,
+            })
+        return journal
+
+    def _append(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def record_done(self, key: str) -> None:
+        if key in self.recorded:
+            return
+        self.recorded.add(key)
+        self._append({"kind": "job", "key": key, "status": "done"})
+
+    def record_failed(self, key: str, *, error: str, attempts: int,
+                      worker_crashes: int) -> None:
+        self._append({
+            "kind": "job", "key": key, "status": "failed",
+            "error": error, "attempts": attempts,
+            "worker_crashes": worker_crashes,
+        })
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:  # pragma: no cover - best-effort close
+            pass

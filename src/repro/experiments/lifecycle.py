@@ -1,0 +1,236 @@
+"""The unified run lifecycle: one request object, one runner recipe.
+
+There used to be three slightly different ways to ask for a run —
+``repro.api.run_experiment`` kwargs, the CLI's flag soup, and the
+serving layer's :class:`~repro.experiments.engine.ExperimentRequest` —
+each re-resolving cache config and each with its own idea of what
+``probes`` or ``jobs`` meant.  :class:`RunRequest` collapses them:
+every entry point builds one of these, and the policy knobs (cache,
+journal, timeout, retry, resume, fault injection) are defined exactly
+once, here.
+
+The functions below are the whole lifecycle:
+
+:func:`resolve_jobs`
+    The one place the ``probes`` → ``jobs=1`` coercion lives (and
+    warns when it overrides an explicit ``jobs``).
+:func:`build_runner`
+    The one place a :class:`~repro.experiments.engine.Runner` is
+    assembled from policy knobs.
+:func:`runner_for`
+    ``build_runner`` applied to a request.
+:func:`execute`
+    Run the request (optionally on a shared runner), installing its
+    probe bus and threading its resume token through the journal.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.engine import RetryPolicy, Runner
+from repro.experiments.faults import FaultPlan
+from repro.experiments.runner import ExperimentResult, ExperimentSettings
+
+__all__ = [
+    "RunRequest",
+    "build_runner",
+    "execute",
+    "resolve_jobs",
+    "runner_for",
+]
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """Everything one experiment run needs, in one immutable object.
+
+    This is the blessed entry point for running experiments
+    (``repro.api.run(RunRequest(...))``); the engine, the CLI and the
+    serving layer all construct runs from it, so resume/retry/timeout
+    policy has exactly one definition.
+
+    Fields
+    ------
+    experiment_id:
+        Registered experiment id (see ``repro.api.list_experiments``).
+    settings:
+        :class:`ExperimentSettings`; ``None`` means paper defaults.
+    jobs:
+        Worker processes (``None``: all cores).  **Coercion rule:** a
+        request carrying ``probes`` runs in-process — the probe bus is
+        per-process, so fan-out would bypass live tracing.  ``jobs``
+        other than ``None``/``1`` is overridden to ``1`` with a
+        :class:`RuntimeWarning` (see :func:`resolve_jobs`).  Per-job
+        metric *snapshots* survive fan-out regardless; the coercion
+        only affects live streaming.
+    cache:
+        ``True`` (default location), ``False`` (no caching — also
+        disables the journal), or a ready :class:`ResultCache`.
+    cache_dir:
+        Cache location when ``cache=True`` (default:
+        ``$REPRO_CACHE_DIR`` or ``.repro-cache``).
+    probes:
+        A :class:`repro.obs.ProbeBus` installed for the run's duration.
+    watchdog:
+        Run every job under an invariant watchdog.
+    timeout_s / retry:
+        Per-job wall-clock budget and :class:`RetryPolicy` (defaults:
+        no timeout; 3 attempts, 2 worker crashes, exponential backoff).
+    resume:
+        A previous run's journal token: journaled-done jobs replay
+        from the cache, only the remainder executes.
+    run_id:
+        Override the journal's (otherwise deterministic) run id.
+    faults:
+        A :class:`FaultPlan` for deterministic chaos testing.
+    journal:
+        Set ``False`` to suppress the per-run journal.
+    """
+
+    experiment_id: str
+    settings: Optional[ExperimentSettings] = None
+    jobs: Optional[int] = None
+    cache: Union[bool, ResultCache] = True
+    cache_dir: Optional[os.PathLike] = None
+    probes: Optional[object] = None
+    watchdog: bool = False
+    timeout_s: Optional[float] = None
+    retry: Optional[RetryPolicy] = None
+    resume: Optional[str] = None
+    run_id: Optional[str] = None
+    faults: Optional[FaultPlan] = None
+    journal: bool = True
+
+
+def resolve_jobs(jobs: Optional[int], probes) -> Optional[int]:
+    """Apply the ``probes`` → in-process coercion, loudly.
+
+    The probe bus is per-process: live tracing through ``probes`` only
+    sees jobs executed in-process, so an instrumented run forces
+    ``jobs=1``.  When that overrides an explicit ``jobs`` value the
+    caller is told via :class:`RuntimeWarning` instead of silently
+    getting a serial run.
+    """
+    if probes is None:
+        return jobs
+    if jobs not in (None, 1):
+        warnings.warn(
+            f"probes force in-process execution: overriding jobs={jobs} "
+            f"with jobs=1 (drop probes= to fan out; per-job metric "
+            f"snapshots are captured either way)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return 1
+
+
+def build_runner(
+    *,
+    jobs: Optional[int] = None,
+    cache: Union[bool, ResultCache] = True,
+    cache_dir: Optional[os.PathLike] = None,
+    watchdog: bool = False,
+    timeout_s: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
+    journal: bool = True,
+) -> Runner:
+    """Assemble a :class:`Runner` from policy knobs.
+
+    The single runner-construction recipe shared by ``repro.api``
+    (``make_runner``, ``run_experiment``, ``run_all``), the CLI and
+    the serving layer.
+    """
+    if isinstance(cache, ResultCache):
+        store = cache
+    elif cache:
+        store = ResultCache(cache_dir)
+    else:
+        store = None
+    return Runner(
+        jobs=jobs,
+        cache=store,
+        watchdog=watchdog,
+        timeout_s=timeout_s,
+        retry=retry,
+        faults=faults,
+        journal=journal,
+    )
+
+
+def runner_for(request: RunRequest) -> Runner:
+    """The runner a :class:`RunRequest` asks for."""
+    return build_runner(
+        jobs=resolve_jobs(request.jobs, request.probes),
+        cache=request.cache,
+        cache_dir=request.cache_dir,
+        watchdog=request.watchdog,
+        timeout_s=request.timeout_s,
+        retry=request.retry,
+        faults=request.faults,
+        journal=request.journal,
+    )
+
+
+def execute(request: RunRequest, runner: Optional[Runner] = None) -> ExperimentResult:
+    """Run one :class:`RunRequest` to completion.
+
+    Pass a shared ``runner`` to reuse one cache/manifest across several
+    requests (``repro.api.run_all`` and the CLI's ``all`` do); it is
+    built from the request otherwise.  The request's probe bus, resume
+    token and run id are threaded through either way.
+    """
+    from repro.experiments import REGISTRY
+
+    try:
+        experiment = REGISTRY[request.experiment_id]
+    except KeyError:
+        known = ", ".join(REGISTRY)
+        raise KeyError(
+            f"unknown experiment {request.experiment_id!r}; known ids: {known}"
+        ) from None
+    if runner is None:
+        runner = runner_for(request)
+    if request.probes is None:
+        return runner.run_experiment(
+            experiment, request.settings,
+            run_id=request.run_id, resume=request.resume,
+        )
+    from repro.obs import use_probes
+
+    with use_probes(request.probes):
+        return runner.run_experiment(
+            experiment, request.settings,
+            run_id=request.run_id, resume=request.resume,
+        )
+
+
+def execute_all(
+    request_defaults: RunRequest,
+    runner: Optional[Runner] = None,
+) -> Dict[str, ExperimentResult]:
+    """Run every registered experiment with one shared runner.
+
+    ``request_defaults.experiment_id`` is ignored; each experiment runs
+    with the same settings/policy.  The shared runner means one cache,
+    one journal namespace and one merged metrics manifest across the
+    whole sweep.
+    """
+    from dataclasses import replace
+
+    from repro.experiments import REGISTRY
+
+    if runner is None:
+        runner = runner_for(request_defaults)
+    return {
+        experiment_id: execute(
+            replace(request_defaults, experiment_id=experiment_id),
+            runner=runner,
+        )
+        for experiment_id in REGISTRY
+    }

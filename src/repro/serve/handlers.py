@@ -127,7 +127,7 @@ def parse_experiment_request(server, experiment_id: str,
     payload = request.json()
     if not isinstance(payload, dict):
         raise HttpError(400, "body must be a JSON object")
-    unknown = sorted(set(payload) - {"quick", "overrides"})
+    unknown = sorted(set(payload) - {"quick", "overrides", "resume"})
     if unknown:
         raise HttpError(
             400, f"unknown request field(s): {', '.join(unknown)}"
@@ -138,6 +138,9 @@ def parse_experiment_request(server, experiment_id: str,
     overrides = payload.get("overrides") or {}
     if not isinstance(overrides, dict):
         raise HttpError(400, "overrides must be a JSON object")
+    resume = payload.get("resume")
+    if resume is not None and not isinstance(resume, str):
+        raise HttpError(400, "resume must be a run-id string")
     try:
         json.dumps(overrides)
     except (TypeError, ValueError) as exc:  # pragma: no cover - json gave it
@@ -149,6 +152,7 @@ def parse_experiment_request(server, experiment_id: str,
         use_cache=server.config.use_cache,
         cache_dir=server.config.cache_dir,
         jobs=1,
+        resume=resume,
     )
 
 
@@ -160,4 +164,10 @@ async def handle_experiment(server, experiment_id: str,
     except ValueError as exc:
         # ExperimentSettings.from_dict rejected the overrides
         raise HttpError(400, str(exc)) from None
-    return Response(body=payload["result_json"].encode("utf-8"))
+    # the resume token rides in a header so the body stays byte-identical
+    # across fresh / cached / resumed executions of the same request
+    headers = {}
+    if payload.get("run_id"):
+        headers["X-Repro-Run-Id"] = str(payload["run_id"])
+    return Response(body=payload["result_json"].encode("utf-8"),
+                    headers=headers)

@@ -22,8 +22,12 @@ rejects excess data-plane requests with ``429`` + ``Retry-After``
 before any work is queued for them; every data-plane request runs
 under a deadline (``504`` on expiry); and ``drain()`` — wired to
 SIGTERM/SIGINT by ``repro-serve`` — stops the listener, lets in-flight
-work finish within a grace period, and only then tears down the
-batcher and the worker pool.
+work finish within a grace period, journals any experiment requests
+still executing to ``<cache>/journal/serve-inflight.json``, and only
+then tears down the batcher and the worker pool.  The next
+``start()`` picks that file up and resubmits each interrupted request
+with its resume token, so the engine's per-run journal lets it skip
+every job the cut-short run already completed.
 
 Observability rides the ambient :mod:`repro.obs` machinery: request
 latency / batch size / experiment wall-time histograms, an in-flight
@@ -36,16 +40,20 @@ experiment workers all merge into one probe bus whose snapshot
 from __future__ import annotations
 
 import asyncio
+import json
 import os
 import signal
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
 from typing import Dict, Optional
 
+from repro.experiments.cache import default_cache_dir
 from repro.experiments.engine import (
     ExperimentRequest,
     execute_request,
     request_digest,
+    request_run_id,
 )
 from repro.obs import ProbeBus, merge_snapshots
 from repro.serve import handlers
@@ -111,6 +119,10 @@ class ReproServer:
         self._connections: "set[asyncio.Task]" = set()
         self._executor: Optional[Executor] = None
         self._singleflight: Dict[str, asyncio.Task] = {}
+        # experiment requests currently executing in a worker, keyed by
+        # request digest — drained servers journal these to disk so a
+        # restart can resume their runs instead of redoing finished jobs
+        self._inflight_experiments: Dict[str, ExperimentRequest] = {}
         # created in start(): asyncio primitives bind the running loop
         # on Python 3.9, and servers may be constructed outside one
         self._idle_event: Optional[asyncio.Event] = None
@@ -143,6 +155,7 @@ class ReproServer:
         sock = self._server.sockets[0].getsockname()
         self.host, self.port = sock[0], sock[1]
         self.state = "serving"
+        self._resume_journaled_experiments()
 
     async def drain(self) -> None:
         """Graceful shutdown: stop listening, finish in-flight, stop."""
@@ -159,6 +172,7 @@ class ReproServer:
                 )
             except asyncio.TimeoutError:
                 self.bus.count("serve.drain_timeouts")
+        self._journal_inflight_experiments()
         # idle keep-alive connections are parked in read_request; they
         # will never produce another request once the listener is gone
         for task in list(self._connections):
@@ -346,9 +360,14 @@ class ReproServer:
     async def _execute_experiment(self, request: ExperimentRequest) -> dict:
         self.bus.count("serve.experiments_submitted")
         loop = asyncio.get_running_loop()
-        payload = await loop.run_in_executor(
-            self._executor, execute_request, request
-        )
+        key = request_digest(request)
+        self._inflight_experiments[key] = request
+        try:
+            payload = await loop.run_in_executor(
+                self._executor, execute_request, request
+            )
+        finally:
+            self._inflight_experiments.pop(key, None)
         self.bus.count("serve.experiment_cache_hits", payload["cache_hits"])
         self.bus.count("serve.experiment_cache_misses",
                        payload["cache_misses"])
@@ -358,6 +377,74 @@ class ReproServer:
         if payload.get("metrics"):
             self.bus.merge_snapshot(payload["metrics"])
         return payload
+
+    # ------------------------------------------------------------------
+    # drain-time journaling of in-flight experiments
+    # ------------------------------------------------------------------
+    def _inflight_journal_path(self) -> Path:
+        root = (Path(self.config.cache_dir) if self.config.cache_dir
+                else default_cache_dir())
+        return root / "journal" / "serve-inflight.json"
+
+    def _journal_inflight_experiments(self) -> None:
+        """Persist experiment requests still executing at drain time.
+
+        The engine journals each run's per-job progress under the result
+        cache as it goes; this file only records *which* requests were
+        cut short, so :meth:`start` can resubmit them with their resume
+        tokens and skip every job the interrupted run already finished.
+        """
+        if not self._inflight_experiments:
+            return
+        records = [asdict(req) for req in self._inflight_experiments.values()]
+        path = self._inflight_journal_path()
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(
+                {"schema": 1, "requests": records}, sort_keys=True
+            ))
+            os.replace(tmp, path)
+        except OSError:
+            return
+        self.bus.count("serve.journaled_inflight", len(records))
+
+    def _resume_journaled_experiments(self) -> None:
+        """Pick up requests a previous drain journaled, and resume them."""
+        path = self._inflight_journal_path()
+        try:
+            raw = path.read_text()
+        except OSError:
+            return
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        try:
+            doc = json.loads(raw)
+            records = doc["requests"]
+            if not isinstance(records, list):
+                raise ValueError("requests must be a list")
+        except (KeyError, TypeError, ValueError):
+            self.bus.count("serve.resume_journal_corrupt")
+            return
+        loop = asyncio.get_running_loop()
+        for record in records:
+            try:
+                request = ExperimentRequest(**record)
+                request = replace(
+                    request, resume=request.resume or request_run_id(request)
+                )
+            except (TypeError, ValueError):
+                self.bus.count("serve.resume_journal_corrupt")
+                continue
+            self.bus.count("serve.resumed_runs")
+            task = loop.create_task(self.submit_experiment(request))
+            # background resubmission: nobody awaits this response, so
+            # retrieve any exception to keep the loop's logs quiet
+            task.add_done_callback(
+                lambda t: t.cancelled() or t.exception()
+            )
 
     # ------------------------------------------------------------------
     def metrics_snapshot(self) -> dict:

@@ -1,0 +1,169 @@
+"""Kernel checkpointing: freeze a simulation at a window boundary.
+
+A :class:`~repro.sim.kernel.SimKernel` is a thin loop over a
+:class:`~repro.sim.scheme.RefreshScheme`; between two windows its whole
+state is the scheme's state plus four scalars (simulated time, window
+index, accumulated stats, window length).  :func:`save_checkpoint`
+captures exactly that into a :class:`KernelCheckpoint`, and
+:func:`restore_checkpoint` puts it back — into the same kernel, or into
+a freshly constructed one driving an identically configured scheme.
+
+Schemes opt in through the :class:`Checkpointable` capability
+(``checkpoint_state() -> dict`` / ``restore_state(dict)``) and declare
+it via ``capabilities.checkpointable``; the ZERO-REFRESH
+:class:`~repro.dram.refresh.RefreshEngine` (all modes) and the hybrid
+engine implement it.  The contract is *bit-identity*: a run that
+checkpoints and restores at any window boundary — or is saved, killed,
+and finished by a new process from the serialized bytes — must produce
+exactly the stats an uninterrupted run produces.  The golden-parity
+checkpoint tests (``tests/sim/test_checkpoint.py``) enforce this
+against the same frozen numbers as ``tests/sim/test_parity.py``.
+
+What a checkpoint does **not** restore: probe buses (observability is
+append-only history, not simulation state — a snapshot of the ambient
+bus rides along for diagnostics) and construction-time configuration
+(geometry, timing, traffic callbacks; restoring validates against the
+target kernel instead of rebuilding it).  Caller-owned randomness —
+e.g. a :class:`~repro.core.zero_refresh.ZeroRefreshSystem`'s RNG that
+feeds the traffic callback — travels in the ``extra`` slot, captured
+and re-applied by the system that owns it
+(:meth:`ZeroRefreshSystem.checkpoint_state`).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.dram.refresh import RefreshStats
+
+CHECKPOINT_SCHEMA = 1
+
+
+class CheckpointError(RuntimeError):
+    """Raised for unsupported schemes and mismatched restore targets."""
+
+
+@runtime_checkable
+class Checkpointable(Protocol):
+    """The capability a scheme implements to support checkpointing.
+
+    ``checkpoint_state`` returns a picklable dict that *copies* all
+    mutable state (so the checkpoint is immune to further simulation);
+    ``restore_state`` writes such a dict back into the live object
+    without rebinding arrays other components may alias.
+    """
+
+    def checkpoint_state(self) -> dict:
+        ...
+
+    def restore_state(self, state: dict) -> None:
+        ...
+
+
+@dataclass
+class KernelCheckpoint:
+    """One kernel frozen at a window boundary."""
+
+    schema: int
+    window_s: float
+    time_s: float
+    window_index: int
+    stats: dict
+    scheme_state: dict
+    probes: Optional[dict] = None
+    extra: Optional[dict] = field(default=None)
+
+    def to_bytes(self) -> bytes:
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "KernelCheckpoint":
+        ckpt = pickle.loads(blob)
+        if not isinstance(ckpt, cls):
+            raise CheckpointError(
+                f"blob does not contain a {cls.__name__}"
+            )
+        if ckpt.schema != CHECKPOINT_SCHEMA:
+            raise CheckpointError(
+                f"checkpoint schema {ckpt.schema} != {CHECKPOINT_SCHEMA}"
+            )
+        return ckpt
+
+    def save(self, path) -> None:
+        """Write the checkpoint atomically (tmp + replace)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_bytes(self.to_bytes())
+        tmp.replace(path)
+
+    @classmethod
+    def load(cls, path) -> "KernelCheckpoint":
+        return cls.from_bytes(Path(path).read_bytes())
+
+
+def _require_checkpointable(scheme) -> None:
+    capabilities = getattr(scheme, "capabilities", None)
+    if capabilities is None or not getattr(capabilities, "checkpointable",
+                                           False):
+        raise CheckpointError(
+            f"scheme {type(scheme).__name__} does not declare the "
+            f"checkpointable capability"
+        )
+    if not isinstance(scheme, Checkpointable):
+        raise CheckpointError(
+            f"scheme {type(scheme).__name__} declares checkpointable but "
+            f"does not implement checkpoint_state/restore_state"
+        )
+
+
+def save_checkpoint(kernel, extra: Optional[dict] = None) -> KernelCheckpoint:
+    """Capture ``kernel`` at its current window boundary.
+
+    Call between windows (after :meth:`SimKernel.step` returns), never
+    mid-window.  ``extra`` carries caller-owned state the kernel cannot
+    see — e.g. the driving system's RNG — round-tripped verbatim.
+    """
+    scheme = kernel.scheme
+    _require_checkpointable(scheme)
+    probes = kernel.probes.snapshot() if kernel.probes.enabled else None
+    return KernelCheckpoint(
+        schema=CHECKPOINT_SCHEMA,
+        window_s=kernel.window_s,
+        time_s=kernel.time_s,
+        window_index=kernel._window_index,
+        stats=dict(vars(kernel.stats)),
+        scheme_state=scheme.checkpoint_state(),
+        probes=probes,
+        extra=dict(extra) if extra is not None else None,
+    )
+
+
+def restore_checkpoint(kernel, ckpt: KernelCheckpoint) -> Optional[dict]:
+    """Restore ``ckpt`` into ``kernel``; returns the ``extra`` payload.
+
+    The kernel must drive an identically configured scheme (same
+    window length; scheme-level validation — mode, policy, geometry
+    shape — happens in the scheme's ``restore_state``).  The probe
+    snapshot is *not* replayed: observability is history, and a resumed
+    run accumulates its own.
+    """
+    if ckpt.schema != CHECKPOINT_SCHEMA:
+        raise CheckpointError(
+            f"checkpoint schema {ckpt.schema} != {CHECKPOINT_SCHEMA}"
+        )
+    if ckpt.window_s != kernel.window_s:
+        raise CheckpointError(
+            f"checkpoint window_s={ckpt.window_s} != kernel "
+            f"window_s={kernel.window_s}"
+        )
+    scheme = kernel.scheme
+    _require_checkpointable(scheme)
+    scheme.restore_state(ckpt.scheme_state)
+    kernel.time_s = ckpt.time_s
+    kernel._window_index = ckpt.window_index
+    kernel.stats = RefreshStats(**ckpt.stats)
+    return ckpt.extra

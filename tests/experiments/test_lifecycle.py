@@ -1,0 +1,350 @@
+"""Tests for the unified run lifecycle: RunRequest, retry, journal.
+
+These exercise the policy layer with tiny synthetic jobs (no DRAM
+simulation) so failures, backoff and journal behaviour are asserted in
+milliseconds; the real-simulation acceptance paths live in
+``test_resume_integration.py`` and ``tests/sim/test_checkpoint.py``.
+"""
+
+import warnings
+from dataclasses import replace
+
+import pytest
+
+import repro.api as api
+from repro.experiments import REGISTRY
+from repro.experiments.engine import (
+    Experiment,
+    RetryPolicy,
+    Runner,
+    SimJob,
+)
+from repro.experiments.faults import FaultPlan, FaultSpec
+from repro.experiments.journal import default_run_id, journal_path
+from repro.experiments.lifecycle import (
+    RunRequest,
+    execute,
+    execute_all,
+    resolve_jobs,
+    runner_for,
+)
+from repro.experiments.runner import ExperimentResult, ExperimentSettings
+from repro.obs import ProbeBus
+
+MICRO = ExperimentSettings(
+    memory_bytes=4 << 20, windows=1, benchmarks=("alpha", "beta", "gamma"),
+    rows_per_ar=32, seed=3,
+)
+
+TINY_FN = "tests.experiments.test_lifecycle:tiny_job"
+FAILING_FN = "tests.experiments.test_lifecycle:failing_job"
+
+
+def tiny_job(settings, job):
+    """Instant deterministic job body (no simulation)."""
+    return {"benchmark": job.benchmark, "value": len(job.benchmark)}
+
+
+def failing_job(settings, job):
+    raise RuntimeError("synthetic job failure")
+
+
+def tiny_plan(settings):
+    return [SimJob(benchmark=name, fn=TINY_FN)
+            for name in settings.benchmarks]
+
+
+def tiny_reduce(settings, results):
+    return ExperimentResult(
+        experiment_id="_lifecycle_tiny",
+        title="tiny lifecycle experiment",
+        headers=["benchmark", "value"],
+        rows=[[r["benchmark"], r["value"]] for r in results],
+    )
+
+
+TINY = Experiment("_lifecycle_tiny", plan=tiny_plan, reduce=tiny_reduce)
+
+
+@pytest.fixture(autouse=True)
+def register_tiny(monkeypatch):
+    monkeypatch.setitem(REGISTRY, "_lifecycle_tiny", TINY)
+
+
+class FakeSleep:
+    def __init__(self):
+        self.calls = []
+
+    def __call__(self, seconds):
+        self.calls.append(round(seconds, 6))
+
+
+class TestRunRequestRouting:
+    def test_execute_runs_registered_experiment(self, tmp_path):
+        result = execute(RunRequest(
+            "_lifecycle_tiny", settings=MICRO, jobs=1,
+            cache_dir=tmp_path / "cache",
+        ))
+        assert result.rows == [["alpha", 5], ["beta", 4], ["gamma", 5]]
+
+    def test_unknown_experiment_names_known_ids(self):
+        with pytest.raises(KeyError, match="fig17"):
+            execute(RunRequest("not-an-experiment"))
+
+    def test_api_run_is_execute(self, tmp_path):
+        result = api.run(api.RunRequest(
+            "_lifecycle_tiny", settings=MICRO, jobs=1,
+            cache_dir=tmp_path / "cache",
+        ))
+        assert result.experiment_id == "_lifecycle_tiny"
+
+    def test_execute_all_shares_one_runner(self, monkeypatch, tmp_path):
+        other = Experiment("_lifecycle_other", plan=tiny_plan,
+                           reduce=tiny_reduce)
+        monkeypatch.setattr(
+            "repro.experiments.REGISTRY",
+            {"_lifecycle_tiny": TINY, "_lifecycle_other": other},
+        )
+        runner = runner_for(RunRequest(
+            "_lifecycle_tiny", settings=MICRO, jobs=1,
+            cache_dir=tmp_path / "cache",
+        ))
+        results = execute_all(
+            RunRequest("_lifecycle_tiny", settings=MICRO, jobs=1),
+            runner=runner,
+        )
+        assert set(results) == {"_lifecycle_tiny", "_lifecycle_other"}
+        # one shared runner saw both plans; the second experiment's
+        # identical jobs hit the shared cache instead of re-executing
+        assert runner.stats.jobs == 6
+        assert runner.stats.cache_misses == 3
+        assert runner.stats.cache_hits == 3
+
+
+class TestDeprecatedShims:
+    def test_run_experiment_warns_and_still_works(self, tmp_path):
+        with pytest.warns(DeprecationWarning, match="RunRequest"):
+            result = api.run_experiment(
+                "_lifecycle_tiny", settings=MICRO,
+                cache_dir=tmp_path / "cache", jobs=1,
+            )
+        assert result.rows[0] == ["alpha", 5]
+
+    def test_run_all_warns_and_still_works(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(
+            "repro.experiments.REGISTRY", {"_lifecycle_tiny": TINY}
+        )
+        with pytest.warns(DeprecationWarning, match="run_all"):
+            results = api.run_all(
+                settings=MICRO, cache_dir=tmp_path / "cache", jobs=1
+            )
+        assert list(results) == ["_lifecycle_tiny"]
+
+    def test_blessed_path_does_not_warn(self, tmp_path):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            api.run(api.RunRequest(
+                "_lifecycle_tiny", settings=MICRO, jobs=1,
+                cache_dir=tmp_path / "cache",
+            ))
+
+
+class TestProbesCoercion:
+    def test_explicit_jobs_overridden_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="jobs=1"):
+            assert resolve_jobs(4, ProbeBus()) == 1
+
+    def test_default_jobs_coerced_silently(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_jobs(None, ProbeBus()) == 1
+            assert resolve_jobs(1, ProbeBus()) == 1
+
+    def test_no_probes_no_coercion(self):
+        assert resolve_jobs(4, None) == 4
+
+    def test_runner_for_applies_coercion(self):
+        with pytest.warns(RuntimeWarning):
+            runner = runner_for(RunRequest(
+                "_lifecycle_tiny", jobs=4, probes=ProbeBus(), cache=False,
+            ))
+        assert runner.jobs == 1
+
+
+class TestRetryBackoff:
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(backoff_base_s=0.05, backoff_factor=2.0,
+                             backoff_max_s=0.15)
+        assert policy.backoff_s(1) == pytest.approx(0.05)
+        assert policy.backoff_s(2) == pytest.approx(0.10)
+        assert policy.backoff_s(3) == pytest.approx(0.15)  # capped
+        assert policy.backoff_s(9) == pytest.approx(0.15)
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_worker_crashes=0)
+
+    def test_serial_retries_sleep_the_backoff_sequence(self):
+        """Three failing attempts produce exactly the two scheduled
+        backoff sleeps, then quarantine (injected clock: no real time)."""
+        sleep = FakeSleep()
+        runner = Runner(
+            jobs=1, cache=None,
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=0.05),
+            sleep=sleep, journal=False,
+        )
+        results = runner.run_jobs(
+            "_t", MICRO, [SimJob(benchmark="doomed", fn=FAILING_FN)]
+        )
+        assert results == [None]
+        assert sleep.calls == [0.05, 0.1]
+        assert len(runner.failures) == 1
+        failure = runner.failures[0]
+        assert failure.attempts == 3
+        assert "synthetic job failure" in failure.error
+        assert runner.stats.retries == 2
+        assert runner.stats.quarantined == 1
+
+    def test_injected_crash_retries_then_succeeds(self):
+        sleep = FakeSleep()
+        runner = Runner(
+            jobs=1, cache=None,
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=0.02),
+            faults=FaultPlan((FaultSpec(job_index=0, kind="crash", times=1),)),
+            sleep=sleep, journal=False,
+        )
+        results = runner.run_jobs(
+            "_t", MICRO, [SimJob(benchmark="alpha", fn=TINY_FN)]
+        )
+        assert results == [{"benchmark": "alpha", "value": 5}]
+        assert sleep.calls == [0.02]
+        assert runner.stats.retries == 1
+        assert runner.stats.faults_injected == 1
+        assert not runner.failures
+
+
+class TestQuarantine:
+    def test_poisoned_job_yields_partial_failure_report(self, tmp_path):
+        """A job that fails every attempt is quarantined; the rest of
+        the plan completes and the result is the partial report."""
+        bus = ProbeBus()
+        request = RunRequest(
+            "_lifecycle_tiny", settings=MICRO,
+            cache_dir=tmp_path / "cache", probes=bus,
+            retry=RetryPolicy(max_attempts=2, backoff_base_s=0.001),
+            faults=FaultPlan((FaultSpec(job_index=1, kind="crash",
+                                        times=99),)),
+        )
+        runner = runner_for(request)
+        result = execute(request, runner=runner)
+
+        assert "PARTIAL FAILURE" in result.title
+        assert len(runner.failures) == 1
+        assert runner.failures[0].benchmark == "beta"
+        assert runner.failures[0].attempts == 2
+        assert runner.last_run_id in str(result.notes)
+        # the two healthy jobs completed and were cached + journaled
+        assert runner.stats.quarantined == 1
+        assert runner.stats.cache_misses == 3  # all three were attempted
+        counters = bus.snapshot()["counters"]
+        assert counters["engine.quarantined_jobs"] == 1
+        failed_entries = [m for m in runner.manifest if m.get("failed")]
+        assert len(failed_entries) == 1
+
+    def test_quarantined_run_resumes_to_completion(self, tmp_path):
+        """After the fault is gone, resuming the partial run replays the
+        journaled jobs and finishes the one that was quarantined."""
+        faulty = RunRequest(
+            "_lifecycle_tiny", settings=MICRO,
+            cache_dir=tmp_path / "cache",
+            retry=RetryPolicy(max_attempts=2, backoff_base_s=0.001),
+            faults=FaultPlan((FaultSpec(job_index=1, kind="crash",
+                                        times=99),)),
+        )
+        faulty_runner = runner_for(faulty)
+        execute(faulty, runner=faulty_runner)
+        token = faulty_runner.last_run_id
+
+        bus = ProbeBus()
+        request = RunRequest(
+            "_lifecycle_tiny", settings=MICRO,
+            cache_dir=tmp_path / "cache", resume=token, probes=bus,
+        )
+        runner = runner_for(request)
+        result = execute(request, runner=runner)
+        assert result.rows == [["alpha", 5], ["beta", 4], ["gamma", 5]]
+        counters = bus.snapshot()["counters"]
+        assert counters["engine.journal_replays"] == 2
+        assert counters["engine.journal_resumes"] == 1
+
+
+class TestJournal:
+    def _run(self, tmp_path, *, resume=None, bus=None, settings=MICRO):
+        request = RunRequest(
+            "_lifecycle_tiny", settings=settings,
+            cache_dir=tmp_path / "cache", resume=resume, probes=bus,
+        )
+        runner = runner_for(request)
+        return execute(request, runner=runner), runner
+
+    def test_default_run_id_is_deterministic(self, tmp_path):
+        _, first = self._run(tmp_path)
+        _, second = self._run(tmp_path)
+        assert first.last_run_id == second.last_run_id
+        assert first.last_run_id == default_run_id("_lifecycle_tiny", MICRO)
+
+    def test_resume_replays_journaled_jobs(self, tmp_path):
+        reference, first = self._run(tmp_path)
+        bus = ProbeBus()
+        result, runner = self._run(
+            tmp_path, resume=first.last_run_id, bus=bus
+        )
+        assert result.to_json() == reference.to_json()
+        counters = bus.snapshot()["counters"]
+        assert counters["engine.journal_replays"] == 3
+        assert runner.stats.journal_replays == 3
+        replayed = [m for m in runner.manifest if m.get("journal_replay")]
+        assert len(replayed) == 3
+
+    def test_corrupt_journal_tail_is_tolerated(self, tmp_path):
+        reference, first = self._run(tmp_path)
+        path = journal_path((tmp_path / "cache"), first.last_run_id)
+        with path.open("ab") as fh:
+            fh.write(b'{"truncated garbage...\x00\xff\n')
+        bus = ProbeBus()
+        result, _ = self._run(tmp_path, resume=first.last_run_id, bus=bus)
+        assert result.to_json() == reference.to_json()
+        counters = bus.snapshot()["counters"]
+        assert counters["engine.journal_corrupt"] == 1
+        # the intact prefix still replays
+        assert counters["engine.journal_replays"] == 3
+
+    def test_stale_journal_for_changed_plan_starts_clean(self, tmp_path):
+        _, first = self._run(tmp_path)
+        changed = replace(MICRO, benchmarks=("alpha", "beta"))
+        bus = ProbeBus()
+        result, _ = self._run(
+            tmp_path, resume=first.last_run_id, bus=bus, settings=changed
+        )
+        assert result.rows == [["alpha", 5], ["beta", 4]]
+        counters = bus.snapshot()["counters"]
+        assert counters["engine.journal_stale"] == 1
+        assert "engine.journal_replays" not in counters
+
+    def test_missing_journal_is_counted_not_fatal(self, tmp_path):
+        bus = ProbeBus()
+        result, _ = self._run(tmp_path, resume="never-written", bus=bus)
+        assert result.rows[0] == ["alpha", 5]
+        assert bus.snapshot()["counters"]["engine.journal_missing"] == 1
+
+    def test_journal_disabled_skips_tokens(self, tmp_path):
+        request = RunRequest(
+            "_lifecycle_tiny", settings=MICRO,
+            cache_dir=tmp_path / "cache", journal=False,
+        )
+        runner = runner_for(request)
+        execute(request, runner=runner)
+        assert runner.last_run_id is None
+        assert not (tmp_path / "cache" / "journal").exists()

@@ -1,0 +1,192 @@
+"""Checkpoint golden parity: save → restore → finish is bit-identical.
+
+The checkpoint layer promises that freezing a kernel at any window
+boundary and resuming — in the same process, after a rewind, or in a
+freshly constructed system fed the serialized bytes — reproduces an
+uninterrupted run exactly.  The strongest available oracle is the same
+one ``test_parity.py`` uses: the frozen golden numbers."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.zero_refresh import ZeroRefreshSystem
+from repro.experiments.runner import ExperimentSettings
+from repro.sim import (
+    CheckpointError,
+    KernelCheckpoint,
+    SimKernel,
+    SmartRefreshScheme,
+    restore_checkpoint,
+    save_checkpoint,
+)
+from repro.workloads.benchmarks import benchmark_profile
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden_parity.json").read_text()
+)
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return ExperimentSettings.quick()
+
+
+def build_system(settings, **overrides):
+    config = settings.config(seed=settings.seed, **overrides)
+    system = ZeroRefreshSystem(config)
+    system.populate(benchmark_profile("mcf"), allocated_fraction=0.7)
+    return system
+
+
+def run_checkpointed(settings, **overrides):
+    """simulate_benchmark("mcf", 0.7) with a checkpoint round-trip armed
+    at *every* measured window boundary (serialize, deserialize,
+    restore — then step)."""
+    system = build_system(settings, **overrides)
+    kernel = system.make_kernel()
+    kernel.run_warmup(1)
+    kernel.begin_measurement()
+    for _ in range(settings.windows):
+        ckpt = save_checkpoint(kernel, extra=system.checkpoint_state())
+        reloaded = KernelCheckpoint.from_bytes(ckpt.to_bytes())
+        extra = restore_checkpoint(kernel, reloaded)
+        system.restore_state(extra)
+        kernel.step()
+    return system.finalize_run(kernel).to_dict()
+
+
+class TestGoldenParityWithCheckpointing:
+    def test_zero_refresh(self, settings):
+        assert run_checkpointed(settings) == GOLDEN["zero_refresh"]
+
+    def test_hybrid(self, settings):
+        assert (run_checkpointed(settings, refresh_mode="hybrid")
+                == GOLDEN["hybrid"])
+
+
+class TestRewind:
+    """A checkpoint taken mid-run restores the *past*: finish the run,
+    rewind to the checkpoint, re-run the remaining windows — both
+    completions must equal the golden numbers."""
+
+    @pytest.mark.parametrize("mode,golden_key", [
+        ("zero-refresh", "zero_refresh"),
+        ("hybrid", "hybrid"),
+    ])
+    def test_rewind_reproduces_golden(self, settings, mode, golden_key):
+        system = build_system(settings, refresh_mode=mode)
+        kernel = system.make_kernel()
+        kernel.run_warmup(1)
+        kernel.begin_measurement()
+        kernel.step()
+        ckpt = save_checkpoint(kernel, extra=system.checkpoint_state())
+        for _ in range(settings.windows - 1):
+            kernel.step()
+        first = system.finalize_run(kernel).to_dict()
+        assert first == GOLDEN[golden_key]
+
+        extra = restore_checkpoint(kernel, ckpt)
+        system.restore_state(extra)
+        for _ in range(settings.windows - 1):
+            kernel.step()
+        second = system.finalize_run(kernel).to_dict()
+        assert second == first
+
+    def test_one_checkpoint_restores_twice(self, settings):
+        """Capture copies state: restoring the same checkpoint twice
+        yields the same continuation both times."""
+        system = build_system(settings)
+        kernel = system.make_kernel()
+        kernel.run_warmup(1)
+        kernel.begin_measurement()
+        ckpt = save_checkpoint(kernel, extra=system.checkpoint_state())
+        runs = []
+        for _ in range(2):
+            extra = restore_checkpoint(kernel, ckpt)
+            system.restore_state(extra)
+            for _ in range(settings.windows):
+                kernel.step()
+            runs.append(system.finalize_run(kernel).to_dict())
+        assert runs[0] == runs[1] == GOLDEN["zero_refresh"]
+
+
+class TestFreshProcessRestore:
+    """The kill-and-resume shape: serialize, build a brand-new system
+    from the same config, restore from bytes, finish — bit-identical."""
+
+    def test_restore_into_fresh_system(self, settings):
+        donor = build_system(settings)
+        donor_kernel = donor.make_kernel()
+        donor_kernel.run_warmup(1)
+        donor_kernel.begin_measurement()
+        donor_kernel.step()
+        blob = save_checkpoint(
+            donor_kernel, extra=donor.checkpoint_state()
+        ).to_bytes()
+        for _ in range(settings.windows - 1):
+            donor_kernel.step()
+        reference = donor.finalize_run(donor_kernel).to_dict()
+        assert reference == GOLDEN["zero_refresh"]
+
+        fresh = build_system(settings)
+        kernel = fresh.make_kernel()
+        extra = restore_checkpoint(kernel, KernelCheckpoint.from_bytes(blob))
+        fresh.restore_state(extra)
+        for _ in range(settings.windows - 1):
+            kernel.step()
+        assert fresh.finalize_run(kernel).to_dict() == reference
+
+
+class TestModeSelfConsistency:
+    """Modes without golden entries (conventional baseline, naive
+    tracker ablation) still honor the bit-identity contract against an
+    uninterrupted run of themselves."""
+
+    @pytest.mark.parametrize("mode", ["conventional", "naive"])
+    def test_checkpointed_equals_plain(self, settings, mode):
+        from repro.experiments.runner import simulate_benchmark
+
+        plain = simulate_benchmark(
+            settings, "mcf", 0.7, config_overrides={"refresh_mode": mode}
+        ).to_dict()
+        assert run_checkpointed(settings, refresh_mode=mode) == plain
+
+
+class TestCheckpointContract:
+    def test_non_checkpointable_scheme_raises(self):
+        scheme = SmartRefreshScheme(tracker=object())
+        kernel = SimKernel(scheme, window_s=0.064)
+        assert not scheme.capabilities.checkpointable
+        with pytest.raises(CheckpointError, match="checkpointable"):
+            save_checkpoint(kernel)
+
+    def test_window_length_mismatch_raises(self, settings):
+        system = build_system(settings)
+        kernel = system.make_kernel()
+        ckpt = save_checkpoint(kernel, extra=system.checkpoint_state())
+        other = SimKernel(system.engine, window_s=kernel.window_s * 2)
+        with pytest.raises(CheckpointError, match="window_s"):
+            restore_checkpoint(other, ckpt)
+
+    def test_mode_mismatch_raises(self, settings):
+        system = build_system(settings)
+        ckpt = save_checkpoint(system.make_kernel())
+        other = build_system(settings, refresh_mode="conventional")
+        with pytest.raises(ValueError, match="mode"):
+            restore_checkpoint(other.make_kernel(), ckpt)
+
+    def test_schema_mismatch_raises(self, settings):
+        system = build_system(settings)
+        ckpt = save_checkpoint(system.make_kernel())
+        ckpt.schema = 999
+        with pytest.raises(CheckpointError, match="schema"):
+            KernelCheckpoint.from_bytes(ckpt.to_bytes())
+
+    def test_extra_round_trips(self, settings):
+        system = build_system(settings)
+        kernel = system.make_kernel()
+        ckpt = save_checkpoint(kernel, extra={"marker": 42})
+        ckpt = KernelCheckpoint.from_bytes(ckpt.to_bytes())
+        assert restore_checkpoint(kernel, ckpt) == {"marker": 42}
