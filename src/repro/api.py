@@ -42,7 +42,7 @@ import os
 import warnings
 from typing import Dict, List, Optional, Union
 
-from repro.experiments import REGISTRY
+from repro.experiments import REGISTRY, SCENARIOS
 from repro.experiments.cache import ResultCache
 from repro.experiments.engine import Experiment, RetryPolicy, Runner
 from repro.experiments.faults import FaultPlan, FaultSpec
@@ -54,6 +54,8 @@ from repro.experiments.lifecycle import (
     resolve_jobs,
 )
 from repro.experiments.runner import ExperimentResult, ExperimentSettings
+from repro.scenarios.executor import adhoc_sweep_spec
+from repro.scenarios.spec import ScenarioSpec, SweepAxis, spec_digest
 
 __all__ = [
     "ExperimentResult",
@@ -63,9 +65,14 @@ __all__ = [
     "RetryPolicy",
     "RunRequest",
     "Runner",
+    "ScenarioSpec",
+    "SweepAxis",
+    "adhoc_sweep_spec",
     "default_settings",
     "get_experiment",
+    "get_scenario",
     "list_experiments",
+    "list_scenarios",
     "make_runner",
     "make_server",
     "quick_settings",
@@ -73,6 +80,7 @@ __all__ = [
     "run_all",
     "run_experiment",
     "settings_from_dict",
+    "spec_digest",
     "version",
 ]
 
@@ -131,6 +139,28 @@ def get_experiment(experiment_id: str) -> Experiment:
         known = ", ".join(REGISTRY)
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known ids: {known}"
+        ) from None
+
+
+def list_scenarios() -> Dict[str, str]:
+    """Registered scenario ids mapped to their one-line descriptions."""
+    return {scenario_id: spec.description
+            for scenario_id, spec in SCENARIOS.items()}
+
+
+def get_scenario(scenario_id: str) -> ScenarioSpec:
+    """The :class:`ScenarioSpec` registered under ``scenario_id``.
+
+    Specs are pure data: serialize with ``to_json()``, tweak the dict,
+    rebuild with ``ScenarioSpec.from_dict`` and run the variant via
+    ``run(RunRequest(spec=...))``.
+    """
+    try:
+        return SCENARIOS[scenario_id]
+    except KeyError:
+        known = ", ".join(SCENARIOS)
+        raise KeyError(
+            f"unknown scenario {scenario_id!r}; known ids: {known}"
         ) from None
 
 

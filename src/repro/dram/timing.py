@@ -30,6 +30,26 @@ class TemperatureMode(enum.Enum):
         """Retention window in seconds (paper Sec. II-C)."""
         return 0.064 if self is TemperatureMode.NORMAL else 0.032
 
+    @classmethod
+    def parse(cls, value) -> "TemperatureMode":
+        """The mode named by ``value`` (mode, name or value string).
+
+        The one blessed wire-to-enum path: settings overrides, scenario
+        specs and CLI ``--set``/``--axis`` values all resolve
+        temperatures here, so an invalid name fails the same way
+        everywhere — a ``ValueError`` listing the valid mode names.
+        """
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls[str(value).upper()]
+        except KeyError:
+            names = ", ".join(mode.name for mode in cls)
+            raise ValueError(
+                f"unknown temperature {value!r}; valid TemperatureMode "
+                f"names: {names} (case-insensitive)"
+            ) from None
+
 
 @dataclass(frozen=True)
 class CurrentParams:

@@ -24,11 +24,14 @@ Run from the command line::
 
     python -m repro.experiments fig14 --quick
     python -m repro.experiments all --quick --jobs 4
+    python -m repro.experiments sweep --axis temperature=NORMAL,EXTENDED
 
-or programmatically through :mod:`repro.api`.  Execution goes through
-the parallel, cache-aware engine in :mod:`repro.experiments.engine`;
-see its docstring for the ``plan``/``reduce`` split and the result
-cache.
+or programmatically through :mod:`repro.api`.  Every experiment is a
+declarative :class:`~repro.scenarios.spec.ScenarioSpec` (``SCENARIOS``)
+expanded by the generic executor in :mod:`repro.scenarios.executor`
+into the parallel, cache-aware engine of
+:mod:`repro.experiments.engine`; see their docstrings for the
+``plan``/``reduce`` split and the result cache.
 """
 
 from repro.experiments import (
@@ -56,28 +59,40 @@ from repro.experiments.runner import (
     simulate_benchmark,
     sweep_benchmarks,
 )
+from repro.scenarios.executor import as_experiment
+
+SCENARIOS = {
+    spec.scenario_id: spec
+    for spec in (
+        fig04.SPEC,
+        tab01.SPEC,
+        fig05.SPEC,
+        fig06.SPEC,
+        fig14.SPEC,
+        fig15.SPEC,
+        fig16.SPEC,
+        fig17.SPEC,
+        fig18.SPEC,
+        fig19.SPEC,
+        sram_overhead.SPEC,
+        ablations.STAGES_SPEC,
+        ablations.CELLTYPE_SPEC,
+        ablations.WORDSIZE_SPEC,
+        ablations.TRACKING_SPEC,
+        ablations.POLICY_SPEC,
+        ext_hybrid.SPEC,
+        abl_compression.SPEC,
+        ext_vrt.SPEC,
+        ext_scheduling.SPEC,
+    )
+}
+"""Every registered scenario spec, by id, in the paper's presentation
+order.  The specs are pure data — serialize one with ``to_json()``,
+tweak it, and run it through ``repro sweep`` or ``repro.api.run``."""
 
 REGISTRY = {
-    "fig04": Experiment("fig04", run=fig04.run),
-    "tab01": Experiment("tab01", run=tab01.run),
-    "fig05": Experiment("fig05", run=fig05.run),
-    "fig06": Experiment("fig06", run=fig06.run),
-    "fig14": fig14.EXPERIMENT,
-    "fig15": fig15.EXPERIMENT,
-    "fig16": Experiment("fig16", run=fig16.run),
-    "fig17": fig17.EXPERIMENT,
-    "fig18": Experiment("fig18", run=fig18.run),
-    "fig19": fig19.EXPERIMENT,
-    "sram": Experiment("sram", run=sram_overhead.run),
-    "abl-stages": ablations.STAGES,
-    "abl-celltype": ablations.CELLTYPE,
-    "abl-wordsize": ablations.WORDSIZE,
-    "abl-tracking": ablations.TRACKING,
-    "abl-policy": ablations.POLICY,
-    "ext-hybrid": Experiment("ext-hybrid", run=ext_hybrid.run),
-    "abl-compression": Experiment("abl-compression", run=abl_compression.run),
-    "ext-vrt": Experiment("ext-vrt", run=ext_vrt.run),
-    "ext-scheduling": Experiment("ext-scheduling", run=ext_scheduling.run),
+    scenario_id: as_experiment(spec)
+    for scenario_id, spec in SCENARIOS.items()
 }
 """Every experiment, by id.  Values are callable (``REGISTRY[id](settings)``
 runs serially without caching); engine-aware callers hand them to a
@@ -89,6 +104,7 @@ __all__ = [
     "ExperimentSettings",
     "REGISTRY",
     "Runner",
+    "SCENARIOS",
     "SimJob",
     "simulate_benchmark",
     "sweep_benchmarks",

@@ -7,6 +7,19 @@ Examples::
     python -m repro.experiments fig18 --memory-mb 64 --windows 8
     python -m repro.experiments fig17 --json
     python -m repro.experiments all --csv-out out/ --no-cache
+    python -m repro.experiments list
+    python -m repro.experiments sweep --quick \\
+        --axis temperature=NORMAL,EXTENDED --axis memory_mb=16,64 \\
+        --set stages.rotation=false
+
+``list`` prints every registered scenario with its description.
+``sweep`` runs an ad-hoc, never-registered scenario: each ``--axis``
+adds a sweep dimension (settings fields, config overrides, dotted
+``stages.<flag>`` keys, ``allocated_fraction`` ...), ``--set`` pins an
+override for every cell, and a benchmark axis is appended innermost
+unless given.  The sweep runs through the same engine, cache and
+journal as the registered figures — repeating an identical sweep is
+served from the cache.
 
 Simulation points fan out over ``--jobs`` worker processes and land in
 a content-addressed on-disk cache (``--cache-dir``, default
@@ -38,8 +51,24 @@ def main(argv=None) -> int:
                         version=f"%(prog)s {api.version()}")
     parser.add_argument(
         "experiment",
-        help=f"experiment id or 'all'; one of: {', '.join(REGISTRY)}",
+        help=f"experiment id, 'all', 'list' (describe registered "
+             f"scenarios) or 'sweep' (ad-hoc --axis/--set sweep); "
+             f"one of: {', '.join(REGISTRY)}",
     )
+    parser.add_argument("--axis", action="append", default=[],
+                        metavar="NAME=V1,V2,...",
+                        help="(sweep) add a sweep axis: a settings/config "
+                             "override key, 'allocated_fraction' or "
+                             "'benchmark', with comma-separated values; "
+                             "repeatable, first axis is outermost")
+    parser.add_argument("--set", action="append", default=[], dest="sets",
+                        metavar="KEY=VALUE",
+                        help="(sweep) pin one dotted override (e.g. "
+                             "stages.rotation=false) for every cell; "
+                             "repeatable")
+    parser.add_argument("--benchmarks", default=None, metavar="A,B,C",
+                        help="(sweep) benchmark axis values (default: the "
+                             "settings' suite)")
     parser.add_argument("--quick", action="store_true",
                         help="small scale: 16 MB, 2 windows, 9 benchmarks")
     parser.add_argument("--memory-mb", type=int, default=None,
@@ -106,6 +135,17 @@ def main(argv=None) -> int:
     if args.resume is not None and args.no_cache:
         parser.error("--resume needs the cache (journal replays are "
                      "served from it); drop --no-cache")
+    if (args.experiment != "sweep"
+            and (args.axis or args.sets or args.benchmarks is not None)):
+        parser.error("--axis/--set/--benchmarks only apply to 'sweep'")
+
+    if args.experiment == "list":
+        from repro.experiments import SCENARIOS
+
+        width = max(len(scenario_id) for scenario_id in SCENARIOS)
+        for scenario_id, spec in SCENARIOS.items():
+            print(f"{scenario_id:<{width}}  {spec.description}")
+        return 0
 
     settings = (api.quick_settings(seed=args.seed)
                 if args.quick else api.default_settings(seed=args.seed))
@@ -119,10 +159,16 @@ def main(argv=None) -> int:
 
         settings = replace(settings, **overrides)
 
-    names = list(REGISTRY) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        if name not in REGISTRY:
-            parser.error(f"unknown experiment {name!r}")
+    sweep_spec = None
+    if args.experiment == "sweep":
+        sweep_spec = build_sweep_spec(parser, args)
+        names = [sweep_spec.scenario_id]
+    else:
+        names = (list(REGISTRY) if args.experiment == "all"
+                 else [args.experiment])
+        for name in names:
+            if name not in REGISTRY:
+                parser.error(f"unknown experiment {name!r}")
     if args.csv_out is not None:
         args.csv_out.mkdir(parents=True, exist_ok=True)
 
@@ -159,7 +205,8 @@ def main(argv=None) -> int:
         for name in names:
             start = time.time()
             request = api.RunRequest(
-                experiment_id=name, settings=settings, probes=bus,
+                experiment_id=None if sweep_spec is not None else name,
+                spec=sweep_spec, settings=settings, probes=bus,
                 resume=args.resume,
             )
             result = api.run(request, runner=runner)
@@ -212,6 +259,45 @@ def main(argv=None) -> int:
         write_bench_json(args.bench_json, bus, runner, elapsed)
         print(f"bench: {args.bench_json}", file=sys.stderr)
     return 0
+
+
+def build_sweep_spec(parser, args):
+    """An ad-hoc :class:`ScenarioSpec` from ``--axis``/``--set`` flags.
+
+    Axis and override values parse as JSON scalars with a bare-string
+    fallback (``16`` is an int, ``false`` a bool, ``NORMAL`` a string),
+    matching the wire form a sweep request body would carry.
+    """
+    from repro.scenarios import ScenarioError, parse_value
+
+    if not args.axis:
+        parser.error("sweep needs at least one --axis NAME=V1,V2,...")
+    axes = {}
+    for item in args.axis:
+        name, sep, raw = item.partition("=")
+        if not sep or not name or not raw:
+            parser.error(f"--axis expects NAME=V1,V2,..., got {item!r}")
+        if name in axes:
+            parser.error(f"duplicate --axis name {name!r}")
+        axes[name] = [parse_value(token) for token in raw.split(",")]
+    overrides = {}
+    for item in args.sets:
+        key, sep, raw = item.partition("=")
+        if not sep or not key:
+            parser.error(f"--set expects KEY=VALUE, got {item!r}")
+        overrides[key] = parse_value(raw)
+    benchmarks = (args.benchmarks.split(",")
+                  if args.benchmarks is not None else None)
+    try:
+        spec = api.adhoc_sweep_spec(axes, overrides=overrides or None,
+                                    benchmarks=benchmarks)
+        # Fail on unknown keys/values now, before any engine setup.
+        from repro.scenarios import expand
+
+        expand(spec)
+    except ScenarioError as exc:
+        parser.error(str(exc))
+    return spec
 
 
 def write_bench_json(path: Path, bus, runner, elapsed_s: float) -> None:

@@ -13,17 +13,37 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.runner import ExperimentResult, ExperimentSettings
-from repro.transform.bdi import BdiCompressor
-from repro.transform.bitplane import BitPlaneTransform
-from repro.transform.bpc import BpcCompressor
-from repro.transform.celltype import CellType
-from repro.transform.ebdi import EbdiCodec
-from repro.workloads.synthetic import LINE_CLASSES, generate_lines
+from repro.scenarios.spec import ScenarioSpec
+
+SPEC = ScenarioSpec(
+    scenario_id="abl-compression",
+    description="Compressibility (BDI/BPC) vs skippability per content class",
+    point="repro.experiments.abl_compression:compression_point",
+    point_params={"lines_per_class": 512},
+    reduction="table",
+    reduction_params={
+        "title": "Compressibility (BDI/BPC) vs skippability (ZERO-REFRESH)",
+        "headers": ["content class", "BDI ratio", "BPC ratio",
+                    "skippable words", "max reduction"],
+        "notes": (
+            "correlated but distinct objectives: e.g. float64 is nearly "
+            "incompressible under BDI yet retains a skippable word; "
+            "padded data is byte-sparse but neither compresses nor skips"
+        ),
+    },
+)
 
 
-def run(settings: ExperimentSettings = ExperimentSettings(),
-        lines_per_class: int = 512) -> ExperimentResult:
+def compression_point(settings, job) -> list:
+    """All content classes under one shared RNG stream."""
+    from repro.transform.bdi import BdiCompressor
+    from repro.transform.bitplane import BitPlaneTransform
+    from repro.transform.bpc import BpcCompressor
+    from repro.transform.celltype import CellType
+    from repro.transform.ebdi import EbdiCodec
+    from repro.workloads.synthetic import LINE_CLASSES, generate_lines
+
+    lines_per_class = int(job.params["lines_per_class"])
     rng = np.random.default_rng(settings.seed)
     bdi = BdiCompressor()
     bpc = BpcCompressor()
@@ -41,15 +61,15 @@ def run(settings: ExperimentSettings = ExperimentSettings(),
             skippable,
             skippable / 8.0,
         ])
-    return ExperimentResult(
-        experiment_id="abl-compression",
-        title="Compressibility (BDI/BPC) vs skippability (ZERO-REFRESH)",
-        headers=["content class", "BDI ratio", "BPC ratio",
-                 "skippable words", "max reduction"],
-        rows=rows,
-        notes=(
-            "correlated but distinct objectives: e.g. float64 is nearly "
-            "incompressible under BDI yet retains a skippable word; "
-            "padded data is byte-sparse but neither compresses nor skips"
-        ),
-    )
+    return rows
+
+
+def run(settings=None, lines_per_class: int = 512):
+    from dataclasses import replace
+
+    from repro.scenarios.executor import as_experiment
+
+    spec = SPEC
+    if lines_per_class != 512:
+        spec = replace(SPEC, point_params={"lines_per_class": lines_per_class})
+    return as_experiment(spec)(settings)

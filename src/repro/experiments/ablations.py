@@ -1,27 +1,27 @@
 """Ablation studies for the design choices DESIGN.md calls out.
 
-* :data:`STAGES` — contribution of each pipeline stage: raw values
+* ``abl-stages`` — contribution of each pipeline stage: raw values
   only, +EBDI, +bit-plane, +rotation/cell-type (the full design).
-* :data:`CELLTYPE` — cost of imperfect true/anti identification
+* ``abl-celltype`` — cost of imperfect true/anti identification
   (the paper argues accuracy need not be 100 %: mispredictions only
   forfeit skip opportunity).
-* :data:`WORDSIZE` — EBDI word size 4 B vs the paper's 8 B.
-* :data:`TRACKING` — skip behaviour of the naive per-write tracker
+* ``abl-wordsize`` — EBDI word size 4 B vs the paper's 8 B.
+* ``abl-tracking`` — skip behaviour of the naive per-write tracker
   vs the access-bit protocol (they must agree on steady-state skips;
   their cost difference is the sram experiment).
-* :data:`POLICY` — per-bank vs all-bank AR refresh policy.
+* ``abl-policy`` — per-bank vs all-bank AR refresh policy.
 
-Each ablation is a variants × benchmarks grid, expressed as an engine
-plan (one :class:`~repro.experiments.engine.SimJob` per cell, row
-major) plus a reduce that lays the grid back out as a table.
+Each ablation is a variants × benchmarks grid declared as a
+:class:`ScenarioSpec` whose outer ``overrides`` axis enumerates the
+variant's dotted config overrides; the generic executor expands it row
+major, exactly like the hand-written plans it replaced.
 """
 
 from __future__ import annotations
 
-from typing import List
+from dataclasses import fields
 
-from repro.experiments.engine import Experiment, SimJob
-from repro.experiments.runner import ExperimentResult, ExperimentSettings
+from repro.scenarios.spec import ScenarioSpec, SweepAxis
 from repro.transform.codec import StageSelection
 
 ABLATION_BENCHMARKS = ("gemsFDTD", "mcf", "bzip2", "omnetpp")
@@ -37,138 +37,138 @@ STAGE_VARIANTS = (
 
 CELLTYPE_ERROR_RATES = (0.0, 0.05, 0.25, 0.5)
 
+WORD_SIZES = (8, 4)
 
-def _benchmarks(settings: ExperimentSettings):
+POLICIES = ("per-bank", "all-bank")
+
+TRACKER_MODES = (("zero-refresh", "access bits + DRAM table"),
+                 ("naive", "naive per-write SRAM"))
+
+BENCHMARK_AXIS = SweepAxis(
+    "benchmark", source="repro.experiments.ablations:ablation_benchmarks"
+)
+
+
+def ablation_benchmarks(settings):
+    """The grid's benchmark columns: the fixed four, pruned to the suite."""
     return [b for b in ABLATION_BENCHMARKS if b in settings.benchmarks] or list(
         settings.benchmarks[:2]
     )
 
 
-def _grid_jobs(settings: ExperimentSettings, variant_overrides) -> List[SimJob]:
-    """Row-major jobs for a variants × benchmarks grid."""
-    names = _benchmarks(settings)
-    return [
-        SimJob(benchmark=name, allocated_fraction=1.0,
-               config_overrides=overrides, seed_offset=i)
-        for overrides in variant_overrides
-        for i, name in enumerate(names)
-    ]
-
-
-def _grid_rows(settings: ExperimentSettings, labels, results, metric):
-    """Invert :func:`_grid_jobs`: one table row per variant."""
-    names = _benchmarks(settings)
-    it = iter(results)
-    return [[label] + [metric(next(it)) for _ in names] for label in labels]
+def _stage_overrides(stages: StageSelection, staggered: bool) -> dict:
+    """A stage variant as dotted overrides, every flag explicit."""
+    dotted = {f"stages.{f.name}": getattr(stages, f.name)
+              for f in fields(StageSelection)}
+    dotted["staggered_counters"] = staggered
+    return dotted
 
 
 # ----------------------------------------------------------------------
-# pipeline stages
-# ----------------------------------------------------------------------
-def plan_stages(settings: ExperimentSettings) -> List[SimJob]:
-    return _grid_jobs(settings, [
-        {"stages": stages, "staggered_counters": staggered}
-        for _, stages, staggered in STAGE_VARIANTS
-    ])
+STAGES_SPEC = ScenarioSpec(
+    scenario_id="abl-stages",
+    description="Pipeline-stage contribution to refresh reduction",
+    axes=(
+        SweepAxis("overrides", values=[_stage_overrides(stages, staggered)
+                                       for _, stages, staggered
+                                       in STAGE_VARIANTS]),
+        BENCHMARK_AXIS,
+    ),
+    reduction="variant_grid",
+    reduction_params={
+        "title": "Pipeline-stage contribution (normalized refresh, "
+                 "100% alloc)",
+        "labels": [label for label, _, _ in STAGE_VARIANTS],
+        "metric": "normalized_refresh",
+        "first_header": "variant",
+        "notes": "each stage must not hurt; rotation unlocks word-granular "
+                 "groups",
+    },
+)
+
+CELLTYPE_SPEC = ScenarioSpec(
+    scenario_id="abl-celltype",
+    description="Cell-type misprediction cost across error rates",
+    axes=(
+        SweepAxis("celltype_error_rate", values=list(CELLTYPE_ERROR_RATES)),
+        BENCHMARK_AXIS,
+    ),
+    reduction="variant_grid",
+    reduction_params={
+        "title": "Cell-type misprediction cost (normalized refresh)",
+        "labels": [f"error={rate:.0%}" for rate in CELLTYPE_ERROR_RATES],
+        "metric": "normalized_refresh",
+        "first_header": "identification",
+        "notes": "reduction degrades gracefully; correctness never depends "
+                 "on it",
+    },
+)
+
+WORDSIZE_SPEC = ScenarioSpec(
+    scenario_id="abl-wordsize",
+    description="EBDI word size: 8 B (paper) vs 4 B",
+    axes=(
+        SweepAxis("word_bytes", values=list(WORD_SIZES)),
+        BENCHMARK_AXIS,
+    ),
+    reduction="variant_grid",
+    reduction_params={
+        "title": "EBDI word size (normalized refresh, 100% alloc)",
+        "labels": [f"{wb} B words" for wb in WORD_SIZES],
+        "metric": "normalized_refresh",
+        "first_header": "variant",
+        "notes": "the paper fixes 8 B words; 4 B trades base overhead for "
+                 "narrower deltas",
+    },
+)
+
+POLICY_SPEC = ScenarioSpec(
+    scenario_id="abl-policy",
+    description="Refresh policy: per-bank vs all-bank AR",
+    axes=(
+        SweepAxis("refresh_policy", values=list(POLICIES)),
+        BENCHMARK_AXIS,
+    ),
+    reduction="repro.experiments.ablations:reduce_policy",
+)
+
+TRACKING_SPEC = ScenarioSpec(
+    scenario_id="abl-tracking",
+    description="Tracking design: access-bit protocol vs naive tracker",
+    axes=(
+        SweepAxis("refresh_mode", values=[mode for mode, _ in TRACKER_MODES]),
+        BENCHMARK_AXIS,
+    ),
+    reduction="variant_grid",
+    reduction_params={
+        "title": "Tracking design (normalized refresh, 100% alloc)",
+        "labels": [label for _, label in TRACKER_MODES],
+        "metric": "normalized_refresh",
+        "first_header": "tracker",
+        "notes": "the optimised design pays only the dirty-set transient vs "
+                 "the naive tracker; its SRAM is 128x smaller (see 'sram')",
+    },
+)
 
 
-def reduce_stages(settings: ExperimentSettings, results: list) -> ExperimentResult:
-    names = _benchmarks(settings)
-    rows = _grid_rows(settings, [label for label, _, _ in STAGE_VARIANTS],
-                      results, lambda r: r.normalized_refresh)
-    return ExperimentResult(
-        experiment_id="abl-stages",
-        title="Pipeline-stage contribution (normalized refresh, 100% alloc)",
-        headers=["variant"] + names,
-        rows=rows,
-        notes="each stage must not hurt; rotation unlocks word-granular groups",
-    )
-
-
-STAGES = Experiment("abl-stages", plan=plan_stages, reduce=reduce_stages)
-
-
-# ----------------------------------------------------------------------
-# cell-type identification accuracy
-# ----------------------------------------------------------------------
-def plan_celltype(settings: ExperimentSettings) -> List[SimJob]:
-    return _grid_jobs(settings, [
-        {"celltype_error_rate": rate} for rate in CELLTYPE_ERROR_RATES
-    ])
-
-
-def reduce_celltype(settings: ExperimentSettings, results: list) -> ExperimentResult:
-    names = _benchmarks(settings)
-    rows = _grid_rows(settings,
-                      [f"error={rate:.0%}" for rate in CELLTYPE_ERROR_RATES],
-                      results, lambda r: r.normalized_refresh)
-    return ExperimentResult(
-        experiment_id="abl-celltype",
-        title="Cell-type misprediction cost (normalized refresh)",
-        headers=["identification"] + names,
-        rows=rows,
-        notes="reduction degrades gracefully; correctness never depends on it",
-    )
-
-
-CELLTYPE = Experiment("abl-celltype", plan=plan_celltype, reduce=reduce_celltype)
-
-
-# ----------------------------------------------------------------------
-# EBDI word size
-# ----------------------------------------------------------------------
-WORD_SIZES = (8, 4)
-
-
-def plan_wordsize(settings: ExperimentSettings) -> List[SimJob]:
-    return _grid_jobs(settings, [{"word_bytes": wb} for wb in WORD_SIZES])
-
-
-def reduce_wordsize(settings: ExperimentSettings, results: list) -> ExperimentResult:
-    names = _benchmarks(settings)
-    rows = _grid_rows(settings, [f"{wb} B words" for wb in WORD_SIZES],
-                      results, lambda r: r.normalized_refresh)
-    return ExperimentResult(
-        experiment_id="abl-wordsize",
-        title="EBDI word size (normalized refresh, 100% alloc)",
-        headers=["variant"] + names,
-        rows=rows,
-        notes="the paper fixes 8 B words; 4 B trades base overhead for "
-              "narrower deltas",
-    )
-
-
-WORDSIZE = Experiment("abl-wordsize", plan=plan_wordsize, reduce=reduce_wordsize)
-
-
-# ----------------------------------------------------------------------
-# refresh policy (paper Sec. IV-A)
-# ----------------------------------------------------------------------
-POLICIES = ("per-bank", "all-bank")
-
-
-def plan_policy(settings: ExperimentSettings) -> List[SimJob]:
-    """Per-bank vs all-bank AR.
-
-    Both policies skip the same refreshes (same energy), but an
+def reduce_policy(spec, settings, axes, results):
+    """Both policies skip the same refreshes (same energy), but an
     all-bank command blocks the rank until its slowest bank finishes,
     so the recovered *bandwidth* — and hence the IPC gain — shrinks.
     """
-    return _grid_jobs(settings, [{"refresh_policy": p} for p in POLICIES])
+    from repro.experiments.runner import ExperimentResult
 
-
-def reduce_policy(settings: ExperimentSettings, results: list) -> ExperimentResult:
-    names = _benchmarks(settings)
+    names = axes["benchmark"]
     it = iter(results)
     rows = []
-    for policy in POLICIES:
+    for policy in axes["refresh_policy"]:
         variant = [next(it) for _ in names]
         rows.append([f"{policy} refresh"]
                     + [r.normalized_refresh for r in variant])
         rows.append([f"{policy} IPC"]
                     + [r.ipc.normalized_ipc for r in variant])
     return ExperimentResult(
-        experiment_id="abl-policy",
+        experiment_id=spec.scenario_id,
         title="Refresh policy: per-bank vs all-bank AR",
         headers=["metric"] + names,
         rows=rows,
@@ -177,57 +177,30 @@ def reduce_policy(settings: ExperimentSettings, results: list) -> ExperimentResu
     )
 
 
-POLICY = Experiment("abl-policy", plan=plan_policy, reduce=reduce_policy)
-
-
 # ----------------------------------------------------------------------
-# tracking design
+# serial entry points (uncached), kept for the bench suite
 # ----------------------------------------------------------------------
-TRACKER_MODES = (("zero-refresh", "access bits + DRAM table"),
-                 ("naive", "naive per-write SRAM"))
+def _run(spec, settings):
+    from repro.scenarios.executor import as_experiment
+
+    return as_experiment(spec)(settings)
 
 
-def plan_tracking(settings: ExperimentSettings) -> List[SimJob]:
-    return _grid_jobs(settings, [
-        {"refresh_mode": mode} for mode, _ in TRACKER_MODES
-    ])
+def run_stages(settings=None):
+    return _run(STAGES_SPEC, settings)
 
 
-def reduce_tracking(settings: ExperimentSettings, results: list) -> ExperimentResult:
-    names = _benchmarks(settings)
-    rows = _grid_rows(settings, [label for _, label in TRACKER_MODES],
-                      results, lambda r: r.normalized_refresh)
-    return ExperimentResult(
-        experiment_id="abl-tracking",
-        title="Tracking design (normalized refresh, 100% alloc)",
-        headers=["tracker"] + names,
-        rows=rows,
-        notes="the optimised design pays only the dirty-set transient vs "
-              "the naive tracker; its SRAM is 128x smaller (see 'sram')",
-    )
+def run_celltype(settings=None):
+    return _run(CELLTYPE_SPEC, settings)
 
 
-TRACKING = Experiment("abl-tracking", plan=plan_tracking, reduce=reduce_tracking)
+def run_wordsize(settings=None):
+    return _run(WORDSIZE_SPEC, settings)
 
 
-# ----------------------------------------------------------------------
-# legacy entry points (serial, uncached)
-# ----------------------------------------------------------------------
-def run_stages(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult:
-    return STAGES(settings)
+def run_policy(settings=None):
+    return _run(POLICY_SPEC, settings)
 
 
-def run_celltype(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult:
-    return CELLTYPE(settings)
-
-
-def run_wordsize(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult:
-    return WORDSIZE(settings)
-
-
-def run_policy(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult:
-    return POLICY(settings)
-
-
-def run_tracking(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult:
-    return TRACKING(settings)
+def run_tracking(settings=None):
+    return _run(TRACKING_SPEC, settings)

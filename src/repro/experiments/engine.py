@@ -1016,9 +1016,16 @@ class ExperimentRequest:
     the resume/retry policy, and nothing else — so
     :func:`execute_request` can run it in any process with no shared
     state beyond the on-disk result cache and journal.
+
+    ``spec`` is the ad-hoc sweep path: a
+    :class:`~repro.scenarios.spec.ScenarioSpec` wire dict run by the
+    generic executor instead of a registered experiment.  Exactly one
+    of ``experiment_id`` and ``spec`` must be set; the spec's
+    ``scenario_id`` then serves as the experiment id everywhere (cache,
+    journal, response payload).
     """
 
-    experiment_id: str
+    experiment_id: Optional[str] = None
     quick: bool = True
     overrides: Optional[Dict[str, object]] = None
     use_cache: bool = True
@@ -1027,6 +1034,23 @@ class ExperimentRequest:
     resume: Optional[str] = None
     timeout_s: Optional[float] = None
     max_attempts: Optional[int] = None
+    spec: Optional[Dict[str, object]] = None
+
+
+def _request_spec(request: ExperimentRequest):
+    """The request's parsed :class:`ScenarioSpec`, or ``None``."""
+    if request.spec is None:
+        return None
+    from repro.scenarios.spec import ScenarioSpec
+
+    return ScenarioSpec.from_dict(request.spec)
+
+
+def _request_id(request: ExperimentRequest) -> str:
+    """The id the request runs under: experiment or scenario id."""
+    if request.spec is not None:
+        return str(dict(request.spec).get("scenario_id", ""))
+    return request.experiment_id or ""
 
 
 def request_digest(request: ExperimentRequest) -> str:
@@ -1038,13 +1062,18 @@ def request_digest(request: ExperimentRequest) -> str:
     for single-flight coalescing of concurrent identical submissions.
     """
     settings = ExperimentSettings.from_dict(request.overrides, request.quick)
+    if request.spec is not None:
+        from repro.scenarios.spec import spec_digest
+
+        return stable_digest("sweep-request",
+                             spec_digest(_request_spec(request)), settings)
     return stable_digest("experiment-request", request.experiment_id, settings)
 
 
 def request_run_id(request: ExperimentRequest) -> str:
     """The deterministic journal run id this request will write under."""
     settings = ExperimentSettings.from_dict(request.overrides, request.quick)
-    return journal_mod.default_run_id(request.experiment_id, settings)
+    return journal_mod.default_run_id(_request_id(request), settings)
 
 
 def execute_request(request: ExperimentRequest) -> dict:
@@ -1061,16 +1090,31 @@ def execute_request(request: ExperimentRequest) -> dict:
     cache statistics, the run's merged metrics snapshot, its resume
     token (``run_id``) and any partial-failure records.
     """
-    from repro.experiments import REGISTRY
     from repro.experiments.lifecycle import RunRequest, execute, runner_for
 
-    if request.experiment_id not in REGISTRY:
-        raise KeyError(f"unknown experiment {request.experiment_id!r}")
+    spec = _request_spec(request)
+    if spec is not None:
+        if request.experiment_id:
+            raise ValueError(
+                "give experiment_id or spec, not both"
+            )
+        # Expand eagerly so an unresolvable spec fails before any
+        # scheduling (the serve layer turns this into a 400).
+        from repro.scenarios.executor import expand
+
+        expand(spec, ExperimentSettings.from_dict(request.overrides,
+                                                  request.quick))
+    else:
+        from repro.experiments import REGISTRY
+
+        if request.experiment_id not in REGISTRY:
+            raise KeyError(f"unknown experiment {request.experiment_id!r}")
     settings = ExperimentSettings.from_dict(request.overrides, request.quick)
     retry = (RetryPolicy(max_attempts=request.max_attempts)
              if request.max_attempts else None)
     run_request = RunRequest(
-        experiment_id=request.experiment_id,
+        experiment_id=None if spec is not None else request.experiment_id,
+        spec=spec,
         settings=settings,
         jobs=request.jobs,
         cache=request.use_cache,
@@ -1083,7 +1127,7 @@ def execute_request(request: ExperimentRequest) -> dict:
     start = time.perf_counter()
     result = execute(run_request, runner=runner)
     return {
-        "experiment_id": request.experiment_id,
+        "experiment_id": _request_id(request),
         "digest": request_digest(request),
         "result_json": result.to_json(indent=2),
         "cache_hits": runner.stats.cache_hits,

@@ -9,22 +9,38 @@ compose multiplicatively.
 
 from __future__ import annotations
 
-from repro.controller.refresh_scheduling import (
-    BaselineRefreshStall,
-    ElasticRefreshQueue,
-    RefreshPausingModel,
-    zero_refresh_stall,
-)
-from repro.experiments.runner import (
-    ExperimentResult,
-    ExperimentSettings,
-    simulate_benchmark,
+from repro.scenarios.spec import ScenarioSpec
+
+SPEC = ScenarioSpec(
+    scenario_id="ext-scheduling",
+    description="Refresh-stall cost: scheduling policies vs skipping",
+    point="repro.experiments.ext_scheduling:scheduling_point",
+    point_params={"benchmark": "mcf", "busy_time_fraction": 0.5},
+    reduction="table",
+    reduction_params={
+        "title": "Refresh stall per demand access ({benchmark})",
+        "headers": ["policy", "P(collision)", "mean stall ns",
+                    "stall/access ns", "vs baseline"],
+        "notes": (
+            "scheduling hides latency, skipping removes work; they "
+            "compose — the paper's mechanism is orthogonal to Elastic "
+            "Refresh / Refresh Pausing"
+        ),
+    },
 )
 
 
-def run(settings: ExperimentSettings = ExperimentSettings(),
-        benchmark: str = "mcf",
-        busy_time_fraction: float = 0.5) -> ExperimentResult:
+def scheduling_point(settings, job) -> list:
+    from repro.controller.refresh_scheduling import (
+        BaselineRefreshStall,
+        ElasticRefreshQueue,
+        RefreshPausingModel,
+        zero_refresh_stall,
+    )
+    from repro.experiments.runner import simulate_benchmark
+
+    benchmark = str(job.params["benchmark"])
+    busy_time_fraction = float(job.params["busy_time_fraction"])
     result = simulate_benchmark(settings, benchmark, 1.0)
     timing = settings.config().timing
     norm = result.normalized_refresh
@@ -46,7 +62,7 @@ def run(settings: ExperimentSettings = ExperimentSettings(),
                 report.mean_stall_ns, stall,
                 stall / baseline.stall_per_access_ns]
 
-    rows = [
+    return [
         row(baseline),
         row(elastic),
         row(pausing),
@@ -55,15 +71,17 @@ def run(settings: ExperimentSettings = ExperimentSettings(),
          pausing.mean_stall_ns, combined_stall,
          combined_stall / baseline.stall_per_access_ns],
     ]
-    return ExperimentResult(
-        experiment_id="ext-scheduling",
-        title=f"Refresh stall per demand access ({benchmark})",
-        headers=["policy", "P(collision)", "mean stall ns",
-                 "stall/access ns", "vs baseline"],
-        rows=rows,
-        notes=(
-            "scheduling hides latency, skipping removes work; they "
-            "compose — the paper's mechanism is orthogonal to Elastic "
-            "Refresh / Refresh Pausing"
-        ),
-    )
+
+
+def run(settings=None, benchmark: str = "mcf",
+        busy_time_fraction: float = 0.5):
+    from dataclasses import replace
+
+    from repro.scenarios.executor import as_experiment
+
+    spec = SPEC
+    params = {"benchmark": benchmark,
+              "busy_time_fraction": busy_time_fraction}
+    if params != SPEC.point_params_dict:
+        spec = replace(SPEC, point_params=params)
+    return as_experiment(spec)(settings)

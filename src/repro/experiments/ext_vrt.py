@@ -10,26 +10,46 @@ leave a growing population of rows refreshed more slowly than their
 a skipped row holds no charge, so its retention time cannot matter, and
 rows that do hold charge stay on the standard 64 ms schedule the floor
 guarantee covers.
+
+The VRT process is stateful across the hour marks (one shared RNG), so
+the whole sweep is a single table point.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.raidr import RaidrScheduler
-from repro.dram.variation import RetentionProfile, VrtProcess
-from repro.experiments.runner import (
-    ExperimentResult,
-    ExperimentSettings,
-    simulate_benchmark,
-)
+from repro.scenarios.spec import ScenarioSpec
 
 VRT_HOURS = (0, 1, 4, 16)
 
+SPEC = ScenarioSpec(
+    scenario_id="ext-vrt",
+    description="RAIDR under VRT drift vs value-aware skipping",
+    point="repro.experiments.ext_vrt:vrt_point",
+    point_params={"num_rows": 65536, "flips_per_row_per_hour": 0.02},
+    reduction="table",
+    reduction_params={
+        "title": "Retention-aware vs value-aware skipping under VRT",
+        "headers": ["mechanism", "norm refresh", "unsafe rows",
+                    "unsafe fraction"],
+        "notes": (
+            "RAIDR reduces more but its static profile accrues rows whose "
+            "current retention no longer covers their bin period; "
+            "value-based skipping has no retention exposure by "
+            "construction (skipped rows hold no charge)"
+        ),
+    },
+)
 
-def run(settings: ExperimentSettings = ExperimentSettings(),
-        num_rows: int = 65536,
-        flips_per_row_per_hour: float = 0.02) -> ExperimentResult:
+
+def vrt_point(settings, job) -> list:
+    from repro.baselines.raidr import RaidrScheduler
+    from repro.dram.variation import RetentionProfile, VrtProcess
+    from repro.experiments.runner import simulate_benchmark
+
+    num_rows = int(job.params["num_rows"])
+    flips_per_row_per_hour = float(job.params["flips_per_row_per_hour"])
     rng = np.random.default_rng(settings.seed)
     profile = RetentionProfile.sample(num_rows, rng=rng)
     scheduler = RaidrScheduler(profile)
@@ -56,16 +76,18 @@ def run(settings: ExperimentSettings = ExperimentSettings(),
         0,
         0.0,
     ])
-    return ExperimentResult(
-        experiment_id="ext-vrt",
-        title="Retention-aware vs value-aware skipping under VRT",
-        headers=["mechanism", "norm refresh", "unsafe rows",
-                 "unsafe fraction"],
-        rows=rows,
-        notes=(
-            "RAIDR reduces more but its static profile accrues rows whose "
-            "current retention no longer covers their bin period; "
-            "value-based skipping has no retention exposure by "
-            "construction (skipped rows hold no charge)"
-        ),
-    )
+    return rows
+
+
+def run(settings=None, num_rows: int = 65536,
+        flips_per_row_per_hour: float = 0.02):
+    from dataclasses import replace
+
+    from repro.scenarios.executor import as_experiment
+
+    spec = SPEC
+    params = {"num_rows": num_rows,
+              "flips_per_row_per_hour": flips_per_row_per_hour}
+    if params != SPEC.point_params_dict:
+        spec = replace(SPEC, point_params=params)
+    return as_experiment(spec)(settings)

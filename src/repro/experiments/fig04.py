@@ -12,34 +12,60 @@ from typing import Sequence
 
 from repro.dram.timing import TemperatureMode
 from repro.energy.dram_power import DramPowerModel
-from repro.experiments.runner import ExperimentResult, ExperimentSettings
+from repro.scenarios.spec import ScenarioSpec, SweepAxis
 
 DENSITIES_GBIT = (1, 2, 4, 8, 16)
 
+SPEC = ScenarioSpec(
+    scenario_id="fig04",
+    description="Refresh power share vs density and temperature",
+    axes=(
+        SweepAxis("params.temperature",
+                  values=[TemperatureMode.NORMAL.value,
+                          TemperatureMode.EXTENDED.value]),
+        SweepAxis("params.density_gbit", values=list(DENSITIES_GBIT)),
+    ),
+    point="repro.experiments.fig04:power_point",
+    reduction="concat_rows",
+    reduction_params={
+        "title": "Refresh power share vs. device density "
+                 "(Micron-style model)",
+        "headers": ["temperature", "density", "refresh mW", "total mW",
+                    "refresh share"],
+        "paper_reference": {"16Gb@32ms refresh share": ">0.50"},
+        "notes": "8% read / 2% write bus cycles, DBI-era DDR4 currents "
+                 "(Table II)",
+    },
+)
 
-def run(settings: ExperimentSettings = ExperimentSettings(),
-        densities: Sequence[int] = DENSITIES_GBIT) -> ExperimentResult:
-    model = DramPowerModel()
-    rows = []
-    for temperature in (TemperatureMode.NORMAL, TemperatureMode.EXTENDED):
-        for density in densities:
-            breakdown = model.device_power(
-                density, temperature,
-                read_cycle_fraction=0.08, write_cycle_fraction=0.02,
-            )
-            rows.append([
-                temperature.value,
-                f"{density} Gb",
-                breakdown.refresh_mw,
-                breakdown.total_mw,
-                breakdown.refresh_share,
-            ])
-    return ExperimentResult(
-        experiment_id="fig04",
-        title="Refresh power share vs. device density (Micron-style model)",
-        headers=["temperature", "density", "refresh mW", "total mW",
-                 "refresh share"],
-        rows=rows,
-        paper_reference={"16Gb@32ms refresh share": ">0.50"},
-        notes="8% read / 2% write bus cycles, DBI-era DDR4 currents (Table II)",
+
+def power_point(settings, job) -> list:
+    """One (temperature, density) cell: its power-breakdown table row."""
+    temperature = TemperatureMode.parse(job.params["temperature"])
+    density = int(job.params["density_gbit"])
+    breakdown = DramPowerModel().device_power(
+        density, temperature,
+        read_cycle_fraction=0.08, write_cycle_fraction=0.02,
     )
+    return [
+        temperature.value,
+        f"{density} Gb",
+        breakdown.refresh_mw,
+        breakdown.total_mw,
+        breakdown.refresh_share,
+    ]
+
+
+def run(settings=None, densities: Sequence[int] = DENSITIES_GBIT):
+    from dataclasses import replace
+
+    from repro.scenarios.executor import as_experiment
+
+    spec = SPEC
+    if tuple(densities) != DENSITIES_GBIT:
+        spec = replace(SPEC, axes=(
+            SPEC.axes[0],
+            SweepAxis("params.density_gbit",
+                      values=[int(d) for d in densities]),
+        ))
+    return as_experiment(spec)(settings)

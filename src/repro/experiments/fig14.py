@@ -9,60 +9,35 @@ auto-refresh.  Paper averages: 0.629 / 0.54 / 0.43 / 0.17 normalised
 
 from __future__ import annotations
 
-from typing import List
-
-import numpy as np
-
-from repro.experiments.engine import Experiment, SimJob, sweep_jobs
-from repro.experiments.runner import ExperimentResult, ExperimentSettings
 from repro.osmodel.scenarios import PAPER_SCENARIOS
+from repro.scenarios.spec import ScenarioSpec, SweepAxis
 
 SCENARIO_ORDER = ("100%", "88%", "70%", "28%")
 PAPER_AVG_REDUCTION = {"100%": 0.371, "88%": 0.46, "70%": 0.57, "28%": 0.83}
 
-
-def plan(settings: ExperimentSettings) -> List[SimJob]:
-    jobs = []
-    for label in SCENARIO_ORDER:
-        scenario = PAPER_SCENARIOS[label]
-        jobs.extend(
-            sweep_jobs(settings, allocated_fraction=scenario.allocated_fraction)
-        )
-    return jobs
-
-
-def reduce(settings: ExperimentSettings, results: list) -> ExperimentResult:
-    it = iter(results)
-    per_scenario = {
-        label: {name: next(it) for name in settings.benchmarks}
-        for label in SCENARIO_ORDER
-    }
-    rows = []
-    for name in settings.benchmarks:
-        rows.append(
-            [name] + [per_scenario[s][name].normalized_refresh
-                      for s in SCENARIO_ORDER]
-        )
-    averages = [
-        float(np.mean([per_scenario[s][b].normalized_refresh
-                       for b in settings.benchmarks]))
-        for s in SCENARIO_ORDER
-    ]
-    rows.append(["average"] + averages)
-    rows.append(["paper avg"] + [1.0 - PAPER_AVG_REDUCTION[s]
-                                 for s in SCENARIO_ORDER])
-    return ExperimentResult(
-        experiment_id="fig14",
-        title="Normalized refresh operations (lower is better)",
-        headers=["benchmark"] + list(SCENARIO_ORDER),
-        rows=rows,
-        paper_reference={f"avg@{s}": 1.0 - PAPER_AVG_REDUCTION[s]
-                         for s in SCENARIO_ORDER},
-    )
+SPEC = ScenarioSpec(
+    scenario_id="fig14",
+    description="Normalized refresh operations at four allocation levels",
+    axes=(
+        SweepAxis("allocated_fraction",
+                  values=[PAPER_SCENARIOS[s].allocated_fraction
+                          for s in SCENARIO_ORDER]),
+        SweepAxis("benchmark"),
+    ),
+    reduction="benchmark_grid",
+    reduction_params={
+        "title": "Normalized refresh operations (lower is better)",
+        "metric": "normalized_refresh",
+        "columns": list(SCENARIO_ORDER),
+        "extra_rows": [["paper avg"] + [1.0 - PAPER_AVG_REDUCTION[s]
+                                        for s in SCENARIO_ORDER]],
+        "paper_reference": {f"avg@{s}": 1.0 - PAPER_AVG_REDUCTION[s]
+                            for s in SCENARIO_ORDER},
+    },
+)
 
 
-EXPERIMENT = Experiment("fig14", plan=plan, reduce=reduce)
+def run(settings=None):
+    from repro.scenarios.executor import as_experiment
 
-
-def run(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult:
-    return EXPERIMENT(settings)
+    return as_experiment(SPEC)(settings)

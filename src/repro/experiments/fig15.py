@@ -10,61 +10,37 @@ the overheads.
 
 from __future__ import annotations
 
-from typing import List
-
-import numpy as np
-
-from repro.experiments.engine import Experiment, SimJob, sweep_jobs
-from repro.experiments.runner import ExperimentResult, ExperimentSettings
 from repro.osmodel.scenarios import PAPER_SCENARIOS
+from repro.scenarios.spec import ScenarioSpec, SweepAxis
 
 SCENARIO_ORDER = ("100%", "88%", "70%", "28%")
 PAPER_AVG_REDUCTION = {"100%": 0.365, "88%": 0.44, "70%": 0.55, "28%": 0.82}
 
-
-def plan(settings: ExperimentSettings) -> List[SimJob]:
-    jobs = []
-    for label in SCENARIO_ORDER:
-        jobs.extend(sweep_jobs(
-            settings,
-            allocated_fraction=PAPER_SCENARIOS[label].allocated_fraction,
-        ))
-    return jobs
-
-
-def reduce(settings: ExperimentSettings, results: list) -> ExperimentResult:
-    it = iter(results)
-    per_scenario = {
-        label: {name: next(it) for name in settings.benchmarks}
-        for label in SCENARIO_ORDER
-    }
-    rows = []
-    for name in settings.benchmarks:
-        rows.append(
-            [name] + [per_scenario[s][name].normalized_energy
-                      for s in SCENARIO_ORDER]
-        )
-    averages = [
-        float(np.mean([per_scenario[s][b].normalized_energy
-                       for b in settings.benchmarks]))
-        for s in SCENARIO_ORDER
-    ]
-    rows.append(["average"] + averages)
-    rows.append(["paper avg"] + [1.0 - PAPER_AVG_REDUCTION[s]
-                                 for s in SCENARIO_ORDER])
-    return ExperimentResult(
-        experiment_id="fig15",
-        title="Normalized refresh energy incl. ZERO-REFRESH overheads",
-        headers=["benchmark"] + list(SCENARIO_ORDER),
-        rows=rows,
-        paper_reference={f"avg@{s}": 1.0 - PAPER_AVG_REDUCTION[s]
-                         for s in SCENARIO_ORDER},
-        notes="energy reduction trails refresh reduction slightly (overheads)",
-    )
+SPEC = ScenarioSpec(
+    scenario_id="fig15",
+    description="Normalized refresh energy incl. overheads, four levels",
+    axes=(
+        SweepAxis("allocated_fraction",
+                  values=[PAPER_SCENARIOS[s].allocated_fraction
+                          for s in SCENARIO_ORDER]),
+        SweepAxis("benchmark"),
+    ),
+    reduction="benchmark_grid",
+    reduction_params={
+        "title": "Normalized refresh energy incl. ZERO-REFRESH overheads",
+        "metric": "normalized_energy",
+        "columns": list(SCENARIO_ORDER),
+        "extra_rows": [["paper avg"] + [1.0 - PAPER_AVG_REDUCTION[s]
+                                        for s in SCENARIO_ORDER]],
+        "paper_reference": {f"avg@{s}": 1.0 - PAPER_AVG_REDUCTION[s]
+                            for s in SCENARIO_ORDER},
+        "notes": "energy reduction trails refresh reduction slightly "
+                 "(overheads)",
+    },
+)
 
 
-EXPERIMENT = Experiment("fig15", plan=plan, reduce=reduce)
+def run(settings=None):
+    from repro.scenarios.executor import as_experiment
 
-
-def run(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult:
-    return EXPERIMENT(settings)
+    return as_experiment(SPEC)(settings)

@@ -8,30 +8,32 @@ refresh statistics into bank unavailability and IPC.
 
 from __future__ import annotations
 
-from typing import List
-
 import numpy as np
 
-from repro.experiments.engine import Experiment, SimJob, sweep_jobs
-from repro.experiments.runner import ExperimentResult, ExperimentSettings
+from repro.scenarios.spec import ScenarioSpec, SweepAxis
+
+SPEC = ScenarioSpec(
+    scenario_id="fig17",
+    description="Normalized IPC vs conventional refresh (100% allocated)",
+    axes=(SweepAxis("benchmark"),),
+    reduction="repro.experiments.fig17:reduce_scenario",
+)
 
 
-def plan(settings: ExperimentSettings) -> List[SimJob]:
-    return sweep_jobs(settings, allocated_fraction=1.0)
+def reduce_scenario(spec, settings, axes, results):
+    from repro.experiments.runner import ExperimentResult
 
-
-def reduce(settings: ExperimentSettings, results: list) -> ExperimentResult:
-    by_name = dict(zip(settings.benchmarks, results))
+    names = axes["benchmark"]
     rows = []
     gains = []
-    for name in settings.benchmarks:
-        ipc = by_name[name].ipc
+    for name, result in zip(names, results):
+        ipc = result.ipc
         rows.append([name, ipc.normalized_ipc, f"{ipc.speedup_percent:+.2f}%"])
         gains.append(ipc.speedup_percent)
     rows.append(["average", 1.0 + float(np.mean(gains)) / 100.0,
                  f"{float(np.mean(gains)):+.2f}%"])
     return ExperimentResult(
-        experiment_id="fig17",
+        experiment_id=spec.scenario_id,
         title="Normalized IPC vs conventional refresh (100% allocated)",
         headers=["benchmark", "normalized IPC", "speedup"],
         rows=rows,
@@ -40,8 +42,7 @@ def reduce(settings: ExperimentSettings, results: list) -> ExperimentResult:
     )
 
 
-EXPERIMENT = Experiment("fig17", plan=plan, reduce=reduce)
+def run(settings=None):
+    from repro.scenarios.executor import as_experiment
 
-
-def run(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult:
-    return EXPERIMENT(settings)
+    return as_experiment(SPEC)(settings)

@@ -7,45 +7,36 @@ at 2 KB, 37.1 % at 4 KB and 33.9 % at 8 KB.
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.experiments.runner import (
-    ExperimentResult,
-    ExperimentSettings,
-    sweep_benchmarks,
-)
+from repro.scenarios.spec import ScenarioSpec, SweepAxis
 
 ROW_SIZES = (2048, 4096, 8192)
 PAPER_REDUCTION = {2048: 0.463, 4096: 0.371, 8192: 0.339}
 
-
-def run(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult:
-    per_size = {}
-    for row_bytes in ROW_SIZES:
-        per_size[row_bytes] = sweep_benchmarks(
-            settings, allocated_fraction=1.0,
-            config_overrides={"row_bytes": row_bytes},
-        )
-    rows = []
-    for name in settings.benchmarks:
-        rows.append([name] + [per_size[r][name].normalized_refresh
-                              for r in ROW_SIZES])
-    averages = [
-        float(np.mean([per_size[r][b].normalized_refresh
-                       for b in settings.benchmarks]))
-        for r in ROW_SIZES
-    ]
-    rows.append(["average"] + averages)
-    rows.append(["paper avg"] + [1.0 - PAPER_REDUCTION[r] for r in ROW_SIZES])
-    return ExperimentResult(
-        experiment_id="fig18",
-        title="Normalized refresh vs row buffer size (100% allocated)",
-        headers=["benchmark", "2KB", "4KB", "8KB"],
-        rows=rows,
-        paper_reference={f"{r//1024}KB": 1.0 - PAPER_REDUCTION[r]
-                         for r in ROW_SIZES},
-        notes=(
+SPEC = ScenarioSpec(
+    scenario_id="fig18",
+    description="Refresh reduction vs row buffer size (2/4/8 KB)",
+    axes=(
+        SweepAxis("row_bytes", values=list(ROW_SIZES)),
+        SweepAxis("benchmark"),
+    ),
+    reduction="benchmark_grid",
+    reduction_params={
+        "title": "Normalized refresh vs row buffer size (100% allocated)",
+        "metric": "normalized_refresh",
+        "columns": [f"{r // 1024}KB" for r in ROW_SIZES],
+        "extra_rows": [["paper avg"] + [1.0 - PAPER_REDUCTION[r]
+                                        for r in ROW_SIZES]],
+        "paper_reference": {f"{r // 1024}KB": 1.0 - PAPER_REDUCTION[r]
+                            for r in ROW_SIZES},
+        "notes": (
             "ordering 2KB < 4KB < 8KB must hold; the synthetic content "
             "understates the paper's 2KB gain (see EXPERIMENTS.md)"
         ),
-    )
+    },
+)
+
+
+def run(settings=None):
+    from repro.scenarios.executor import as_experiment
+
+    return as_experiment(SPEC)(settings)

@@ -17,14 +17,14 @@ paper's fixed benchmark does.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from repro.baselines.smart_refresh import SmartRefreshTracker
 from repro.core.zero_refresh import ZeroRefreshSystem
-from repro.experiments.engine import Experiment, SimJob
-from repro.experiments.runner import ExperimentResult, ExperimentSettings
+from repro.scenarios.resolve import config_for
+from repro.scenarios.spec import ScenarioSpec, SweepAxis
 from repro.sim.kernel import SimKernel
 from repro.sim.schemes import AccessFeed, SmartRefreshScheme
 from repro.workloads.benchmarks import benchmark_profile
@@ -33,8 +33,17 @@ CAPACITIES_MB = (4, 8, 16, 32)  # stand-ins for 4/8/16/32 GB
 
 DEFAULT_BENCHMARK = "mcf"
 
+SPEC = ScenarioSpec(
+    scenario_id="fig19",
+    description="Smart Refresh vs ZERO-REFRESH across capacities (mcf)",
+    axes=(SweepAxis("params.cap_mb", values=list(CAPACITIES_MB)),),
+    point="repro.experiments.fig19:capacity_point",
+    point_params={"benchmark": DEFAULT_BENCHMARK},
+    reduction="repro.experiments.fig19:reduce_scenario",
+)
 
-def capacity_point(settings: ExperimentSettings, job: SimJob) -> Tuple[float, float]:
+
+def capacity_point(settings, job) -> Tuple[float, float]:
     """One capacity of the sweep: (smart refresh, zero-refresh) normalised.
 
     Runs in engine workers; everything that determines the outcome is in
@@ -52,12 +61,7 @@ def capacity_point(settings: ExperimentSettings, job: SimJob) -> Tuple[float, fl
     accesses = ws_pages_abs * 6
     write_fraction = 0.08
 
-    from repro.core.config import SystemConfig
-
-    config = SystemConfig.scaled(
-        total_bytes=cap_mb << 20, temperature=settings.temperature,
-        seed=settings.seed, rows_per_ar=settings.rows_per_ar,
-    )
+    config = config_for(settings, memory_bytes=cap_mb << 20)
     system = ZeroRefreshSystem(config)
     total_pages = system.allocator.total_pages
     system.populate(
@@ -94,25 +98,17 @@ def smart_refresh_feed(system: ZeroRefreshSystem, config) -> "AccessFeed":
     return feed
 
 
-def plan(settings: ExperimentSettings) -> List[SimJob]:
-    return [
-        SimJob(
-            benchmark=DEFAULT_BENCHMARK,
-            fn="repro.experiments.fig19:capacity_point",
-            params={"cap_mb": cap_mb, "benchmark": DEFAULT_BENCHMARK},
-        )
-        for cap_mb in CAPACITIES_MB
-    ]
+def reduce_scenario(spec, settings, axes, results):
+    from repro.experiments.runner import ExperimentResult
 
-
-def reduce(settings: ExperimentSettings, results: list) -> ExperimentResult:
+    benchmark = spec.point_params_dict["benchmark"]
     rows = [
         [f"{cap_mb} GB", smart, zero]
-        for cap_mb, (smart, zero) in zip(CAPACITIES_MB, results)
+        for cap_mb, (smart, zero) in zip(axes["params.cap_mb"], results)
     ]
     return ExperimentResult(
-        experiment_id="fig19",
-        title=f"Smart Refresh vs ZERO-REFRESH scalability ({DEFAULT_BENCHMARK})",
+        experiment_id=spec.scenario_id,
+        title=f"Smart Refresh vs ZERO-REFRESH scalability ({benchmark})",
         headers=["capacity", "smart refresh", "zero-refresh"],
         rows=rows,
         paper_reference={"smart@4GB": 0.526, "smart@32GB": 0.941,
@@ -121,20 +117,14 @@ def reduce(settings: ExperimentSettings, results: list) -> ExperimentResult:
     )
 
 
-EXPERIMENT = Experiment("fig19", plan=plan, reduce=reduce)
+def run(settings=None, benchmark: str = DEFAULT_BENCHMARK):
+    from dataclasses import replace
 
+    from repro.scenarios.executor import as_experiment
 
-def run(settings: ExperimentSettings = ExperimentSettings(),
-        benchmark: str = DEFAULT_BENCHMARK) -> ExperimentResult:
-    if benchmark == DEFAULT_BENCHMARK:
-        return EXPERIMENT(settings)
-    # Non-default benchmark: same sweep, computed directly.
-    jobs = [
-        SimJob(benchmark=benchmark, fn="repro.experiments.fig19:capacity_point",
-               params={"cap_mb": cap_mb, "benchmark": benchmark})
-        for cap_mb in CAPACITIES_MB
-    ]
-    results = [capacity_point(settings, job) for job in jobs]
-    result = reduce(settings, results)
-    result.title = f"Smart Refresh vs ZERO-REFRESH scalability ({benchmark})"
-    return result
+    spec = SPEC
+    if benchmark != DEFAULT_BENCHMARK:
+        # Same sweep, different workload: the spec is data, so rebind
+        # its point parameter instead of re-rolling the loop.
+        spec = replace(SPEC, point_params={"benchmark": benchmark})
+    return as_experiment(spec)(settings)

@@ -35,6 +35,7 @@ from repro.experiments.cache import ResultCache
 from repro.experiments.engine import RetryPolicy, Runner
 from repro.experiments.faults import FaultPlan
 from repro.experiments.runner import ExperimentResult, ExperimentSettings
+from repro.scenarios.spec import ScenarioSpec
 
 __all__ = [
     "RunRequest",
@@ -58,6 +59,13 @@ class RunRequest:
     ------
     experiment_id:
         Registered experiment id (see ``repro.api.list_experiments``).
+        Exactly one of ``experiment_id`` and ``spec`` must be given.
+    spec:
+        A :class:`~repro.scenarios.spec.ScenarioSpec` to run instead of
+        a registered experiment — the ad-hoc sweep path.  The spec is
+        expanded by the generic executor and runs through the same
+        cache/journal/resume machinery (its ``scenario_id`` is the
+        cache and journal identity).
     settings:
         :class:`ExperimentSettings`; ``None`` means paper defaults.
     jobs:
@@ -92,7 +100,8 @@ class RunRequest:
         Set ``False`` to suppress the per-run journal.
     """
 
-    experiment_id: str
+    experiment_id: Optional[str] = None
+    spec: Optional["ScenarioSpec"] = None
     settings: Optional[ExperimentSettings] = None
     jobs: Optional[int] = None
     cache: Union[bool, ResultCache] = True
@@ -185,15 +194,25 @@ def execute(request: RunRequest, runner: Optional[Runner] = None) -> ExperimentR
     built from the request otherwise.  The request's probe bus, resume
     token and run id are threaded through either way.
     """
-    from repro.experiments import REGISTRY
+    if (request.experiment_id is None) == (request.spec is None):
+        raise ValueError(
+            "RunRequest needs exactly one of experiment_id or spec"
+        )
+    if request.spec is not None:
+        from repro.scenarios.executor import as_experiment
 
-    try:
-        experiment = REGISTRY[request.experiment_id]
-    except KeyError:
-        known = ", ".join(REGISTRY)
-        raise KeyError(
-            f"unknown experiment {request.experiment_id!r}; known ids: {known}"
-        ) from None
+        experiment = as_experiment(request.spec)
+    else:
+        from repro.experiments import REGISTRY
+
+        try:
+            experiment = REGISTRY[request.experiment_id]
+        except KeyError:
+            known = ", ".join(REGISTRY)
+            raise KeyError(
+                f"unknown experiment {request.experiment_id!r}; "
+                f"known ids: {known}"
+            ) from None
     if runner is None:
         runner = runner_for(request)
     if request.probes is None:

@@ -81,18 +81,11 @@ class ExperimentSettings:
             data["memory_bytes"] = int(data.pop("memory_mb")) << 20
         if "benchmarks" in data:
             data["benchmarks"] = tuple(str(b) for b in data["benchmarks"])
-        if "temperature" in data and not isinstance(
-            data["temperature"], TemperatureMode
-        ):
-            name = str(data["temperature"]).upper()
-            try:
-                data["temperature"] = TemperatureMode[name]
-            except KeyError:
-                known = ", ".join(m.name.lower() for m in TemperatureMode)
-                raise ValueError(
-                    f"unknown temperature {data['temperature']!r}; "
-                    f"one of: {known}"
-                ) from None
+        if "temperature" in data:
+            # TemperatureMode.parse raises ValueError listing the valid
+            # mode names — the same path scenario overrides resolve
+            # through, so a typo fails identically everywhere
+            data["temperature"] = TemperatureMode.parse(data["temperature"])
         field_names = {f.name for f in fields(cls)}
         unknown = sorted(set(data) - field_names)
         if unknown:

@@ -11,17 +11,32 @@ the paper's 32 GB / 8-bank / 4 KB-row scale:
 
 from __future__ import annotations
 
-from repro.dram.geometry import DramGeometry
-from repro.dram.tracking import (
-    AccessBitTable,
-    DischargedStatusTable,
-    NaiveSramTracker,
+from repro.scenarios.spec import ScenarioSpec
+
+SPEC = ScenarioSpec(
+    scenario_id="sram",
+    description="Tracking-structure cost: naive vs optimised (Sec. IV-B)",
+    point="repro.experiments.sram_overhead:tracking_cost_point",
+    reduction="table",
+    reduction_params={
+        "title": "Discharged-row tracking cost at 32 GB (Sec. IV-B)",
+        "headers": ["design", "storage", "leakage mW", "area mm2"],
+        "paper_reference": {"naive leakage mW": 337.14,
+                            "optimised leakage mW": 2.71,
+                            "optimised area mm2": 0.076},
+    },
 )
-from repro.energy.sram import SramModel
-from repro.experiments.runner import ExperimentResult, ExperimentSettings
 
 
-def run(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult:
+def tracking_cost_point(settings, job) -> list:
+    from repro.dram.geometry import DramGeometry
+    from repro.dram.tracking import (
+        AccessBitTable,
+        DischargedStatusTable,
+        NaiveSramTracker,
+    )
+    from repro.energy.sram import SramModel
+
     geometry = DramGeometry.paper_config()
     sram = SramModel()
     naive = NaiveSramTracker(geometry)
@@ -30,7 +45,7 @@ def run(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult
 
     naive_bytes = naive.costs.sram_bytes
     opt_sram_bytes = access_bits.costs.sram_bytes
-    rows = [
+    return [
         ["naive: per-row SRAM table",
          f"{naive_bytes / 1024:.0f} KB SRAM",
          sram.leakage_mw(naive_bytes),
@@ -46,12 +61,9 @@ def run(settings: ExperimentSettings = ExperimentSettings()) -> ExperimentResult
          f"{status.costs.sram_bits // 8} B register",
          0.0, 0.0],
     ]
-    return ExperimentResult(
-        experiment_id="sram",
-        title="Discharged-row tracking cost at 32 GB (Sec. IV-B)",
-        headers=["design", "storage", "leakage mW", "area mm2"],
-        rows=rows,
-        paper_reference={"naive leakage mW": 337.14,
-                         "optimised leakage mW": 2.71,
-                         "optimised area mm2": 0.076},
-    )
+
+
+def run(settings=None):
+    from repro.scenarios.executor import as_experiment
+
+    return as_experiment(SPEC)(settings)

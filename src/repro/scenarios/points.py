@@ -1,0 +1,35 @@
+"""Point functions the sweep executor schedules onto the engine.
+
+:func:`simulate_point` is the settings-override-capable twin of the
+engine's default job body: expansion routes a grid cell through it
+whenever an axis or static override rebinds an
+:class:`ExperimentSettings` field (``temperature``, ``memory_mb``,
+``windows`` ...), which cannot ride in ``config_overrides`` — the
+settings feed :meth:`ExperimentSettings.config` *before* the overrides
+do.  The raw wire-form mapping travels in ``job.params["settings"]``
+so the job stays picklable and canonicalizable, and resolves through
+:func:`repro.scenarios.resolve.apply_settings` in the worker.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SIMULATE_SETTINGS_POINT", "simulate_point"]
+
+SIMULATE_SETTINGS_POINT = "repro.scenarios.points:simulate_point"
+"""Job ``fn`` for simulate cells that carry settings-level overrides."""
+
+
+def simulate_point(settings, job):
+    """One benchmark simulation under per-cell settings overrides."""
+    from repro.experiments.runner import simulate_benchmark
+    from repro.scenarios.resolve import apply_settings
+
+    params = job.params or {}
+    adjusted = apply_settings(settings, params.get("settings"))
+    return simulate_benchmark(
+        adjusted,
+        job.benchmark,
+        job.allocated_fraction,
+        job.config_overrides,
+        job.seed_offset,
+    )

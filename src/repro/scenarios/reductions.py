@@ -1,0 +1,194 @@
+"""Named reductions: grid results -> ExperimentResult tables.
+
+A reduction is ``fn(spec, settings, axes, results)`` where ``axes`` is
+an ordered ``{axis name: resolved values}`` mapping and ``results``
+holds one entry per grid cell in row-major plan order.  Registered
+names cover the layouts the paper's figures share; anything bespoke
+(computed notes, interleaved metric rows) points its spec at an
+importable ``"module:attr"`` reduction instead.
+
+Static table metadata — title, headers, labels, paper-reference rows —
+rides in the spec's ``reduction_params``, so most figures need no
+reduction code at all.  Titles may reference point parameters with
+``str.format`` fields (``"... ({benchmark})"``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.scenarios.spec import ScenarioError, ScenarioSpec
+
+__all__ = [
+    "REDUCTIONS",
+    "metric_getter",
+    "resolve_reduction",
+]
+
+
+def metric_getter(path: str) -> Callable:
+    """An attribute-path accessor (``"ipc.normalized_ipc"``) on results."""
+    parts = str(path).split(".")
+
+    def get(result):
+        value = result
+        for part in parts:
+            value = getattr(value, part)
+        return value
+
+    return get
+
+
+def _format_title(title: str, spec: ScenarioSpec) -> str:
+    if "{" in title:
+        return title.format(**spec.point_params_dict)
+    return title
+
+
+def _result(spec: ScenarioSpec, params: dict, headers: List[str],
+            rows: List[list], default_title: str = ""):
+    from repro.experiments.runner import ExperimentResult
+
+    return ExperimentResult(
+        experiment_id=spec.scenario_id,
+        title=_format_title(params.get("title") or default_title
+                            or spec.scenario_id, spec),
+        headers=list(headers),
+        rows=rows,
+        notes=params.get("notes", ""),
+        paper_reference=dict(params.get("paper_reference") or {}),
+    )
+
+
+# ----------------------------------------------------------------------
+def table(spec, settings, axes, results):
+    """A single point that computed the whole table's rows itself."""
+    if len(results) != 1:
+        raise ScenarioError(
+            f"'table' reduces exactly one point, got {len(results)}"
+        )
+    params = spec.reduction_params_dict
+    return _result(spec, params, params.get("headers") or [], results[0])
+
+
+def concat_rows(spec, settings, axes, results):
+    """One table row per grid cell, plus optional static extra rows."""
+    params = spec.reduction_params_dict
+    rows = list(results) + list(params.get("extra_rows") or [])
+    return _result(spec, params, params.get("headers") or [], rows)
+
+
+def _grid_axes(axes, caller: str):
+    """(outer values, benchmark names) of an outer x benchmark grid."""
+    items = list(axes.items())
+    if len(items) != 2 or items[1][0] != "benchmark":
+        raise ScenarioError(
+            f"'{caller}' needs axes (outer, benchmark), got "
+            f"{[name for name, _ in items]}"
+        )
+    return items[0][1], items[1][1]
+
+
+def benchmark_grid(spec, settings, axes, results):
+    """Benchmark-major rows over an outer axis, plus an average row.
+
+    The layout of fig14/fig15/fig18: one row per benchmark with a
+    column per outer-axis value, an ``average`` row (``np.mean`` down
+    each column), and any static ``extra_rows`` (paper averages)
+    appended verbatim.
+    """
+    params = spec.reduction_params_dict
+    outer_values, names = _grid_axes(axes, "benchmark_grid")
+    columns = params.get("columns") or [str(v) for v in outer_values]
+    if len(columns) != len(outer_values):
+        raise ScenarioError(
+            f"'benchmark_grid' got {len(columns)} column labels for "
+            f"{len(outer_values)} outer values"
+        )
+    metric = metric_getter(params.get("metric", "normalized_refresh"))
+    it = iter(results)
+    per = {col: {name: next(it) for name in names} for col in columns}
+    rows = [
+        [name] + [metric(per[col][name]) for col in columns]
+        for name in names
+    ]
+    rows.append(["average"] + [
+        float(np.mean([metric(per[col][b]) for b in names]))
+        for col in columns
+    ])
+    rows.extend(params.get("extra_rows") or [])
+    headers = [params.get("first_header", "benchmark")] + list(columns)
+    return _result(spec, params, headers, rows)
+
+
+def variant_grid(spec, settings, axes, results):
+    """One row per outer-axis variant, columns per benchmark.
+
+    The ablation layout: the outer axis enumerates config variants
+    (labelled by ``reduction_params["labels"]``), the inner benchmark
+    axis spans the columns.
+    """
+    params = spec.reduction_params_dict
+    outer_values, names = _grid_axes(axes, "variant_grid")
+    labels = params.get("labels") or [str(v) for v in outer_values]
+    if len(labels) != len(outer_values):
+        raise ScenarioError(
+            f"'variant_grid' got {len(labels)} labels for "
+            f"{len(outer_values)} variants"
+        )
+    metric = metric_getter(params.get("metric", "normalized_refresh"))
+    it = iter(results)
+    rows = [[label] + [metric(next(it)) for _ in names] for label in labels]
+    headers = [params.get("first_header", "variant")] + list(names)
+    return _result(spec, params, headers, rows)
+
+
+def sweep_table(spec, settings, axes, results):
+    """The ad-hoc default: one row per cell — axis values then metrics.
+
+    ``reduction_params["metrics"]`` names dotted result attributes
+    (default: normalized refresh/energy and normalized IPC), so any
+    unregistered ``repro sweep`` prints a useful table with zero
+    reduction code.
+    """
+    import itertools
+
+    params = spec.reduction_params_dict
+    metrics = params.get("metrics") or [
+        "normalized_refresh", "normalized_energy", "ipc.normalized_ipc",
+    ]
+    getters = [metric_getter(m) for m in metrics]
+    combos = itertools.product(*axes.values())
+    rows = [
+        list(combo) + [get(result) for get in getters]
+        for combo, result in zip(combos, results)
+    ]
+    headers = list(axes.keys()) + [str(m) for m in metrics]
+    default_title = "Sweep over " + " x ".join(axes.keys()) if axes else "Sweep"
+    return _result(spec, params, headers, rows, default_title)
+
+
+REDUCTIONS: Dict[str, Callable] = {
+    "table": table,
+    "concat_rows": concat_rows,
+    "benchmark_grid": benchmark_grid,
+    "variant_grid": variant_grid,
+    "sweep_table": sweep_table,
+}
+"""Registered reduction names, usable in any spec."""
+
+
+def resolve_reduction(name: str) -> Callable:
+    """A registered reduction, or an imported ``"module:attr"`` one."""
+    if name in REDUCTIONS:
+        return REDUCTIONS[name]
+    if ":" in name:
+        from repro.experiments.engine import resolve_job_fn
+
+        return resolve_job_fn(name)
+    raise ScenarioError(
+        f"unknown reduction {name!r}; registered: "
+        + ", ".join(sorted(REDUCTIONS)) + " (or an importable 'module:attr')"
+    )

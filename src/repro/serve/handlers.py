@@ -156,6 +156,79 @@ def parse_experiment_request(server, experiment_id: str,
     )
 
 
+# ----------------------------------------------------------------------
+# data plane: /v1/sweeps
+# ----------------------------------------------------------------------
+def parse_sweep_request(server, request: HttpRequest):
+    """Validate a sweep body into an engine ExperimentRequest.
+
+    The body carries a full :class:`~repro.scenarios.spec.ScenarioSpec`
+    wire dict under ``spec`` plus the same ``quick``/``overrides``/
+    ``resume`` knobs the experiment endpoint takes.  The spec is parsed
+    and expanded eagerly so an unknown axis, override key or reduction
+    is a 400 here, never a failed engine run.
+    """
+    from repro.experiments.engine import ExperimentRequest
+    from repro.experiments.runner import ExperimentSettings
+    from repro.scenarios.executor import expand
+    from repro.scenarios.spec import ScenarioError, ScenarioSpec
+
+    payload = request.json()
+    if not isinstance(payload, dict):
+        raise HttpError(400, "body must be a JSON object")
+    unknown = sorted(set(payload) - {"spec", "quick", "overrides", "resume"})
+    if unknown:
+        raise HttpError(
+            400, f"unknown request field(s): {', '.join(unknown)}"
+        )
+    quick = payload.get("quick", True)
+    if not isinstance(quick, bool):
+        raise HttpError(400, "quick must be a boolean")
+    overrides = payload.get("overrides") or {}
+    if not isinstance(overrides, dict):
+        raise HttpError(400, "overrides must be a JSON object")
+    resume = payload.get("resume")
+    if resume is not None and not isinstance(resume, str):
+        raise HttpError(400, "resume must be a run-id string")
+    spec_data = payload.get("spec")
+    if not isinstance(spec_data, dict):
+        raise HttpError(400, "spec must be a JSON object (the wire form "
+                             "of a ScenarioSpec; see repro list / "
+                             "ScenarioSpec.to_dict)")
+    try:
+        spec = ScenarioSpec.from_dict(spec_data)
+        settings = ExperimentSettings.from_dict(overrides or None,
+                                                quick=quick)
+        expand(spec, settings)
+    except ScenarioError as exc:
+        raise HttpError(400, f"invalid sweep spec: {exc}") from None
+    except ValueError as exc:
+        raise HttpError(400, str(exc)) from None
+    return ExperimentRequest(
+        spec=spec.to_dict(),
+        quick=quick,
+        overrides=overrides or None,
+        use_cache=server.config.use_cache,
+        cache_dir=server.config.cache_dir,
+        jobs=1,
+        resume=resume,
+    )
+
+
+async def handle_sweep(server, request: HttpRequest) -> Response:
+    engine_request = parse_sweep_request(server, request)
+    server.bus.count("serve.sweep_requests")
+    try:
+        payload = await server.submit_experiment(engine_request)
+    except ValueError as exc:
+        raise HttpError(400, str(exc)) from None
+    headers = {}
+    if payload.get("run_id"):
+        headers["X-Repro-Run-Id"] = str(payload["run_id"])
+    return Response(body=payload["result_json"].encode("utf-8"),
+                    headers=headers)
+
+
 async def handle_experiment(server, experiment_id: str,
                             request: HttpRequest) -> Response:
     engine_request = parse_experiment_request(server, experiment_id, request)

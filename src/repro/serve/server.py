@@ -16,6 +16,10 @@ planes:
   :func:`~repro.experiments.engine.execute_request`, so CPU-bound
   simulation never blocks the event loop; the engine's
   content-addressed result cache makes repeat submissions cache hits.
+  ``POST /v1/sweeps`` is the same machinery for ad-hoc
+  :class:`~repro.scenarios.spec.ScenarioSpec` bodies: the spec digest
+  keys the single-flight table and the cache, so a never-registered
+  user sweep coalesces and caches exactly like a registered figure.
 
 Robustness is structural, not best-effort: a bounded in-flight counter
 rejects excess data-plane requests with ``429`` + ``Retry-After``
@@ -312,6 +316,10 @@ class ReproServer:
             if request.method != "POST":
                 raise HttpError(405, "use POST")
             return await handlers.handle_transform(self, request)
+        if path == "/v1/sweeps":
+            if request.method != "POST":
+                raise HttpError(405, "use POST")
+            return await handlers.handle_sweep(self, request)
         if path.startswith("/v1/experiments/"):
             if request.method != "POST":
                 raise HttpError(405, "use POST")

@@ -56,7 +56,8 @@ class TestExamples:
         proc = run_example("paper_figures.py", "sram", "tab01", "--quick")
         assert proc.returncode == 0, proc.stderr
         assert "[sram]" in proc.stdout
-        assert "engine: 2 jobs" in proc.stdout
+        # sram is one design-point job, tab01 one job per trace
+        assert "engine: 4 jobs" in proc.stdout
 
     @pytest.mark.slow
     def test_datacenter_provisioning(self):

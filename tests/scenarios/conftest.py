@@ -1,0 +1,15 @@
+"""Scenario-layer test fixtures.
+
+Same cache isolation policy as the experiment tests: the engine's
+default cache lands in a per-test temporary directory so end-to-end
+sweep runs never write into the working tree.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache_dir(tmp_path, monkeypatch):
+    cache_dir = tmp_path / "repro-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    return cache_dir

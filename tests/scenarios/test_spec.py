@@ -1,0 +1,181 @@
+"""ScenarioSpec wire-form properties: round-trip fixed point, stable
+digests, and loud validation failures.
+
+The hypothesis properties are the contract the engine cache and the
+serve daemon's single-flight table rely on: a spec that round-trips
+through JSON is *the same* spec (same wire bytes, same digest), and
+digests do not depend on process state like ``PYTHONHASHSEED``.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings as hyp_settings, strategies as st
+
+from repro.scenarios.spec import (
+    ScenarioError,
+    ScenarioSpec,
+    SweepAxis,
+    spec_digest,
+)
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+# JSON scalars a spec may carry.  Text is kept printable-ish but
+# includes unicode; floats exclude NaN/inf (not JSON).
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+)
+
+json_values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=10), children, max_size=4),
+    ),
+    max_leaves=10,
+)
+
+params_maps = st.dictionaries(st.text(min_size=1, max_size=12),
+                              json_values, max_size=4)
+
+axes_strategy = st.lists(
+    st.builds(
+        SweepAxis,
+        name=st.text(min_size=1, max_size=12),
+        values=st.lists(scalars, max_size=4),
+        source=st.sampled_from(["", "settings.benchmarks", "mod:attr"]),
+    ),
+    max_size=3,
+    unique_by=lambda axis: axis.name,
+)
+
+specs = st.builds(
+    ScenarioSpec,
+    scenario_id=st.text(min_size=1, max_size=16),
+    description=st.text(max_size=30),
+    axes=axes_strategy.map(tuple),
+    point=st.sampled_from(["simulate", "some.module:point"]),
+    point_params=params_maps,
+    overrides=params_maps,
+    reduction=st.sampled_from(["table", "sweep_table", "mod:reduce"]),
+    reduction_params=params_maps,
+)
+
+
+class TestRoundTrip:
+    @hyp_settings(max_examples=200, deadline=None)
+    @given(spec=specs)
+    def test_to_json_from_json_is_a_fixed_point(self, spec):
+        wire = spec.to_json()
+        reloaded = ScenarioSpec.from_json(wire)
+        assert reloaded.to_json() == wire
+        assert reloaded == spec
+
+    @hyp_settings(max_examples=200, deadline=None)
+    @given(spec=specs)
+    def test_digest_survives_the_round_trip(self, spec):
+        assert spec_digest(ScenarioSpec.from_json(spec.to_json())) \
+            == spec_digest(spec)
+
+    @hyp_settings(max_examples=50, deadline=None)
+    @given(spec=specs, indent=st.sampled_from([None, 2]))
+    def test_indentation_does_not_change_identity(self, spec, indent):
+        reloaded = ScenarioSpec.from_json(spec.to_json(indent=indent))
+        assert reloaded == spec
+
+    def test_mapping_order_is_part_of_the_data(self):
+        ab = ScenarioSpec("s", point_params={"a": 1, "b": 2})
+        ba = ScenarioSpec("s", point_params={"b": 2, "a": 1})
+        assert ab != ba
+        assert spec_digest(ab) != spec_digest(ba)
+        # and order survives the wire
+        assert list(ScenarioSpec.from_json(ba.to_json())
+                    .point_params_dict) == ["b", "a"]
+
+
+DIGEST_SNIPPET = """\
+from repro.scenarios.spec import ScenarioSpec, SweepAxis, spec_digest
+spec = ScenarioSpec(
+    scenario_id="digest-probe",
+    description="cross-process digest stability probe",
+    axes=(SweepAxis("temperature", values=["NORMAL", "EXTENDED"]),
+          SweepAxis("benchmark")),
+    overrides={"stages.rotation": False, "memory_mb": 16},
+    reduction="sweep_table",
+    reduction_params={"metrics": ["normalized_refresh"], "title": "t"},
+)
+print(spec_digest(spec))
+"""
+
+
+class TestDigestStability:
+    def test_digest_stable_across_process_restarts(self):
+        """Digests cannot depend on hash randomisation or any other
+        per-process state — they key the on-disk cache."""
+        digests = []
+        for hashseed in ("0", "42"):
+            proc = subprocess.run(
+                [sys.executable, "-c", DIGEST_SNIPPET],
+                capture_output=True, text=True, check=True,
+                env={**os.environ, "PYTHONPATH": str(REPO_SRC),
+                     "PYTHONHASHSEED": hashseed},
+            )
+            digests.append(proc.stdout.strip())
+        assert digests[0] == digests[1]
+        # and matches this process's view of the same spec
+        in_process = spec_digest(ScenarioSpec(
+            scenario_id="digest-probe",
+            description="cross-process digest stability probe",
+            axes=(SweepAxis("temperature", values=["NORMAL", "EXTENDED"]),
+                  SweepAxis("benchmark")),
+            overrides={"stages.rotation": False, "memory_mb": 16},
+            reduction="sweep_table",
+            reduction_params={"metrics": ["normalized_refresh"],
+                              "title": "t"},
+        ))
+        assert digests[0] == in_process
+
+    def test_digest_differs_when_any_field_differs(self):
+        base = ScenarioSpec("s", axes=(SweepAxis("benchmark"),))
+        assert spec_digest(base) != spec_digest(
+            ScenarioSpec("s2", axes=(SweepAxis("benchmark"),)))
+        assert spec_digest(base) != spec_digest(
+            ScenarioSpec("s", axes=(SweepAxis("benchmark"),),
+                         overrides={"memory_mb": 4}))
+
+
+class TestValidation:
+    def test_unknown_spec_field_is_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown spec field"):
+            ScenarioSpec.from_dict({"scenario_id": "s", "surprise": 1})
+
+    def test_unknown_axis_field_is_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown axis field"):
+            ScenarioSpec.from_dict(
+                {"scenario_id": "s",
+                 "axes": [{"name": "benchmark", "wat": 1}]})
+
+    def test_duplicate_axis_names_are_rejected(self):
+        with pytest.raises(ScenarioError, match="duplicate axis names"):
+            ScenarioSpec("s", axes=(SweepAxis("benchmark"),
+                                    SweepAxis("benchmark")))
+
+    def test_non_json_values_are_rejected(self):
+        with pytest.raises(ScenarioError, match="JSON-plain"):
+            ScenarioSpec("s", point_params={"obj": object()})
+
+    def test_empty_scenario_id_is_rejected(self):
+        with pytest.raises(ScenarioError):
+            ScenarioSpec("")
+
+    def test_invalid_json_text_is_rejected(self):
+        with pytest.raises(ScenarioError, match="not valid JSON"):
+            ScenarioSpec.from_json("{nope")
