@@ -71,6 +71,7 @@ __all__ = [
     "default_settings",
     "get_experiment",
     "get_scenario",
+    "inspect_run",
     "list_experiments",
     "list_scenarios",
     "make_runner",
@@ -184,6 +185,7 @@ def make_runner(
     retry: Optional[RetryPolicy] = None,
     faults: Optional[FaultPlan] = None,
     journal: bool = True,
+    span_flush_every: Optional[int] = None,
 ) -> Runner:
     """A configured engine :class:`Runner`.
 
@@ -196,7 +198,28 @@ def make_runner(
     return build_runner(
         jobs=jobs, cache=cache, cache_dir=cache_dir, watchdog=watchdog,
         timeout_s=timeout_s, retry=retry, faults=faults, journal=journal,
+        span_flush_every=span_flush_every,
     )
+
+
+def inspect_run(run_id: str,
+                cache_dir: Optional[os.PathLike] = None) -> dict:
+    """Everything recorded about one run, as a JSON-able document.
+
+    Joins the run's journal, span store and cached per-job metrics
+    into the ``repro inspect`` document (state, job counts, cache hit
+    ratio, per-phase breakdown, retries, slowest jobs, critical path,
+    timeline).  ``run_id`` is the resume token printed on stderr after
+    every cached run (also in ``--json`` output and the serving
+    layer's ``X-Repro-Run-Id`` header).  Raises
+    :class:`repro.obs.inspect.UnknownRunError` for ids with no journal
+    and no span store.
+    """
+    from repro.experiments.cache import default_cache_dir
+    from repro.obs.inspect import inspect_run as _inspect
+
+    root = cache_dir if cache_dir is not None else default_cache_dir()
+    return _inspect(root, run_id)
 
 
 def run(request: RunRequest, *, runner: Optional[Runner] = None) -> ExperimentResult:

@@ -8,11 +8,14 @@ Examples::
     python -m repro.experiments fig17 --json
     python -m repro.experiments all --csv-out out/ --no-cache
     python -m repro.experiments list
+    python -m repro.experiments inspect <run-id>
     python -m repro.experiments sweep --quick \\
         --axis temperature=NORMAL,EXTENDED --axis memory_mb=16,64 \\
         --set stages.rotation=false
 
 ``list`` prints every registered scenario with its description.
+``inspect`` reconstructs a finished (or interrupted) run's timeline
+from its journal and span store — see :mod:`repro.obs.inspect`.
 ``sweep`` runs an ad-hoc, never-registered scenario: each ``--axis``
 adds a sweep dimension (settings fields, config overrides, dotted
 ``stages.<flag>`` keys, ``allocated_fraction`` ...), ``--set`` pins an
@@ -32,6 +35,7 @@ share points are served from disk.  Every run appends a JSONL manifest
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -43,6 +47,13 @@ from repro.experiments.cache import default_cache_dir
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["inspect"]:
+        # `inspect` takes its own flags (--json/--cache-dir mean
+        # different things there), so it bypasses the run parser.
+        from repro.obs.inspect import main as inspect_main
+
+        return inspect_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
@@ -52,7 +63,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         help=f"experiment id, 'all', 'list' (describe registered "
-             f"scenarios) or 'sweep' (ad-hoc --axis/--set sweep); "
+             f"scenarios), 'sweep' (ad-hoc --axis/--set sweep) or "
+             f"'inspect <run-id>' (reconstruct a run's timeline); "
              f"one of: {', '.join(REGISTRY)}",
     )
     parser.add_argument("--axis", action="append", default=[],
@@ -210,13 +222,25 @@ def main(argv=None) -> int:
                 resume=args.resume,
             )
             result = api.run(request, runner=runner)
-            print(result.to_json(indent=2) if args.json else result.render())
-            if not args.json:
+            if args.json:
+                # the result doc plus the run/trace identity, so
+                # machine consumers can feed `repro inspect` without
+                # scraping stderr; both ids are deterministic functions
+                # of experiment + settings, keeping cold/warm output
+                # byte-identical
+                doc = result.to_dict()
+                doc["run_id"] = runner.last_run_id
+                doc["trace_id"] = runner.last_trace_id
+                print(json.dumps(doc, indent=2))
+            else:
+                print(result.render())
                 print()
             print(f"[{name}] {time.time() - start:.1f}s", file=sys.stderr)
             if runner.last_run_id is not None:
                 print(f"[{name}] run id: {runner.last_run_id} "
-                      f"(resume with --resume)", file=sys.stderr)
+                      f"(trace {runner.last_trace_id}; resume with "
+                      f"--resume, inspect with 'inspect')",
+                      file=sys.stderr)
             if args.csv_out is not None:
                 result.save_csv(args.csv_out / f"{name}.csv")
     finally:
@@ -239,7 +263,12 @@ def main(argv=None) -> int:
 
         records = (chrome_records if chrome_records is not None
                    else read_jsonl(args.trace))
-        n = write_chrome_trace(records, args.trace_chrome)
+        spans = runner.span_records + [
+            r for t in ([runner.tracer] if runner.tracer else [])
+            for r in t.records
+        ]
+        n = write_chrome_trace(records, args.trace_chrome,
+                               span_records=spans or None)
         print(f"chrome trace: {args.trace_chrome} ({n} events) — open at "
               f"https://ui.perfetto.dev", file=sys.stderr)
     if args.metrics_json is not None:

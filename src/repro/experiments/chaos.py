@@ -95,6 +95,9 @@ def _run(cache_dir: Path, *, jobs: Optional[int] = None,
         retry=RETRY,
         faults=faults,
         resume=resume,
+        # flush the span store per record: a crashed run must still
+        # leave an inspectable trace behind (checked in phase B)
+        span_flush_every=1,
     )
     runner = runner_for(request)
     result = execute(request, runner=runner)
@@ -139,6 +142,23 @@ def phase_b_quarantine(report: ChaosReport, root: Path) -> Optional[str]:
     report.check("B", "resume token printed in report notes",
                  bool(run_id) and run_id in str(result.notes or ""),
                  str(result.notes or ""))
+    if run_id:
+        # span_flush_every=1 keeps the store current record-by-record,
+        # so the trace of a faulted run is inspectable on disk even
+        # before (or without) a clean finish
+        from repro.obs.spans import dedupe_spans, read_spans, span_path
+
+        spans = dedupe_spans(read_spans(
+            span_path(root / "phase-bc", run_id)))
+        report.check("B", "span store written for the faulted run",
+                     bool(spans), f"spans={len(spans)}")
+        report.check("B", "failed attempts visible as error spans",
+                     any(s.get("name") == "attempt" and "error" in s
+                         for s in spans))
+        report.check("B", "quarantined job span recorded",
+                     any(s.get("name") == "job"
+                         and s.get("status") == "quarantined"
+                         for s in spans))
     return run_id
 
 

@@ -63,6 +63,7 @@ from __future__ import annotations
 
 import importlib
 import os
+import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -83,6 +84,15 @@ from repro.obs import (
     use_probes,
 )
 from repro.obs.invariants import InvariantWatchdog, use_watchdog
+from repro.obs.probes import JsonlTraceSink
+from repro.obs.spans import (
+    SpanContext,
+    SpanTracer,
+    root_context,
+    span_path,
+    trace_id_for_run,
+    use_tracer,
+)
 
 SIMULATE = "repro.experiments.runner:simulate_benchmark"
 """Default job function: one full-system benchmark simulation."""
@@ -198,21 +208,41 @@ def _captured_call(fn: Callable[[], object], watchdog: bool = False):
 
 
 def _timed_execute(settings: ExperimentSettings, job: SimJob,
-                   watchdog: bool = False, fault=None):
-    """Worker entry point: result, metrics snapshot, wall time, pid.
+                   watchdog: bool = False, fault=None,
+                   span_wire: Optional[dict] = None, attempt: int = 1):
+    """Worker entry point: result, snapshot, wall time, pid, spans.
 
     An armed :class:`~repro.experiments.faults.FaultSpec` fires *before*
     the probe-scoped job body, so injected faults never contaminate the
     job's metrics snapshot (which is cached and must stay identical to
     a fault-free execution's).
+
+    ``span_wire`` is the runner's job-span :class:`SpanContext` in wire
+    form: the worker opens an ``attempt`` span under it (qualified by
+    the attempt number so retries get distinct, deterministic ids) and
+    installs an ambient tracer so kernel phases nest underneath.  Spans
+    ship back only on success — a failed attempt's records are
+    discarded here and the runner fabricates the failed-attempt span
+    instead, which keeps ``--jobs 1`` and ``--jobs N`` trees identical.
     """
     if fault is not None:
         faults_mod.apply_worker_fault(fault)
     start = time.perf_counter()
-    result, snapshot = _captured_call(
-        lambda: execute_job(settings, job), watchdog
-    )
-    return result, snapshot, time.perf_counter() - start, os.getpid()
+    if span_wire is None:
+        result, snapshot = _captured_call(
+            lambda: execute_job(settings, job), watchdog
+        )
+        return result, snapshot, time.perf_counter() - start, os.getpid(), []
+    parent = SpanContext.from_wire(span_wire)
+    tracer = SpanTracer(parent.trace_id)
+    with use_tracer(tracer):
+        with tracer.span("attempt", parent=parent, qualifier=str(attempt),
+                         pid=os.getpid()):
+            result, snapshot = _captured_call(
+                lambda: execute_job(settings, job), watchdog
+            )
+    return (result, snapshot, time.perf_counter() - start, os.getpid(),
+            tracer.records)
 
 
 def _pack_cached(result, snapshot) -> dict:
@@ -335,6 +365,10 @@ class Runner:
     journal:
         Set ``False`` to suppress the per-run journal even with a
         cache attached.
+    span_flush_every:
+        Flush the on-disk span store after every N records so spans
+        survive a crash (``None`` buffers until close; the chaos
+        driver and kill→resume tests arm ``1``).
     clock / sleep:
         Injectable time sources for the retry/backoff machinery
         (tests pass fakes; production uses ``time.monotonic`` /
@@ -353,6 +387,7 @@ class Runner:
         retry: Optional[RetryPolicy] = None,
         faults: Optional[FaultPlan] = None,
         journal: bool = True,
+        span_flush_every: Optional[int] = None,
         clock: Optional[Callable[[], float]] = None,
         sleep: Optional[Callable[[float], None]] = None,
     ):
@@ -363,6 +398,7 @@ class Runner:
         self.retry = retry if retry is not None else RetryPolicy()
         self.faults = faults if faults else None
         self.journal_enabled = journal
+        self.span_flush_every = span_flush_every
         self._clock = clock if clock is not None else time.monotonic
         self._sleep = sleep if sleep is not None else time.sleep
         self.manifest: List[dict] = []
@@ -371,6 +407,10 @@ class Runner:
         self.metrics_entries: List[dict] = []
         self.failures: List[JobFailure] = []
         self.last_run_id: Optional[str] = None
+        self.last_trace_id: Optional[str] = None
+        self.tracer: Optional[SpanTracer] = None
+        self.span_records: List[dict] = []
+        self.run_records: List[dict] = []
         self._metric_keys: set = set()
         self._journal: Optional[journal_mod.RunJournal] = None
         self._resume_keys: Set[str] = set()
@@ -378,6 +418,11 @@ class Runner:
         self._tries: Dict[str, int] = {}
         self._failcount: Dict[str, int] = {}
         self._crashes: Dict[str, int] = {}
+        self._span_root: Optional[SpanContext] = None
+        self._span_ctx: Dict[str, SpanContext] = {}
+        self._job_t0: Dict[str, float] = {}
+        self._attempt_t0: Dict[str, float] = {}
+        self._stats_mark: dict = {}
         self._runner_faults_applied: set = set()
 
     # ------------------------------------------------------------------
@@ -401,6 +446,7 @@ class Runner:
         if settings is None:
             settings = ExperimentSettings()
         failures_before = len(self.failures)
+        t_run0 = time.time()
         if experiment.is_legacy:
             key = (
                 self.cache.experiment_key(experiment.experiment_id, settings)
@@ -412,23 +458,37 @@ class Runner:
             try:
                 return self._run_legacy(experiment, settings, key)
             finally:
-                self._close_journal()
+                self._finish_run(experiment.experiment_id, 1,
+                                 failures_before, t_run0)
+        t_plan0 = time.time()
         plan = experiment.plan(settings)
         keys = self._plan_keys(settings, plan)
+        t_plan1 = time.time()
         self._open_journal(experiment.experiment_id, settings, keys,
                            run_id, resume)
+        # the plan ran before the trace existed (planning feeds the run
+        # id); fabricate its span now so /v1/runs sees the plan size
+        self.tracer.record_span(
+            "plan", parent=self._span_root, qualifier="",
+            t0=t_plan0, dur_s=t_plan1 - t_plan0, planned=len(plan))
         try:
             results = self.run_jobs(
                 experiment.experiment_id, settings, plan, keys=keys
             )
+            failures = self.failures[failures_before:]
+            if failures:
+                return self._partial_failure_result(
+                    experiment.experiment_id, len(plan), failures
+                )
+            t_reduce0 = time.time()
+            result = experiment.reduce(settings, results)
+            self.tracer.record_span(
+                "reduce", parent=self._span_root, qualifier="",
+                t0=t_reduce0, dur_s=time.time() - t_reduce0)
+            return result
         finally:
-            self._close_journal()
-        failures = self.failures[failures_before:]
-        if failures:
-            return self._partial_failure_result(
-                experiment.experiment_id, len(plan), failures
-            )
-        return experiment.reduce(settings, results)
+            self._finish_run(experiment.experiment_id, len(plan),
+                             failures_before, t_run0)
 
     # ------------------------------------------------------------------
     # journal lifecycle
@@ -447,13 +507,16 @@ class Runner:
         self._journal = None
         self._resume_keys = set()
         self.last_run_id = None
-        if self.cache is None or not self.journal_enabled:
-            return
-        plan_digest = stable_digest("plan", list(keys))
-        settings_digest = stable_digest(settings)
         rid = resume or run_id or journal_mod.default_run_id(
             experiment_id, settings
         )
+        if self.cache is None or not self.journal_enabled:
+            # no cache → no on-disk stores, but the trace still exists
+            # in memory (--trace-chrome without a cache, direct calls)
+            self._mint_trace(rid)
+            return
+        plan_digest = stable_digest("plan", list(keys))
+        settings_digest = stable_digest(settings)
         ambient = get_probes()
         prior = None
         if resume is not None:
@@ -478,11 +541,71 @@ class Runner:
             prior=prior,
         )
         self.last_run_id = rid
+        # span store mirrors the journal: truncate on a fresh run,
+        # append when resuming (the trace id is the same either way,
+        # so dedup-by-span-id folds both runs into one tree)
+        sink = JsonlTraceSink(
+            span_path(self.cache.root, rid),
+            flush_every=self.span_flush_every, append=prior is not None,
+        )
+        self._mint_trace(rid, sink=sink)
 
     def _close_journal(self) -> None:
         if self._journal is not None:
             self._journal.close()
             self._journal = None
+
+    # ------------------------------------------------------------------
+    # trace lifecycle (mirrors the journal's)
+    # ------------------------------------------------------------------
+    def _mint_trace(self, rid: str, sink=None) -> None:
+        self._retire_tracer()
+        self.tracer = SpanTracer(trace_id_for_run(rid), sink=sink)
+        self.last_trace_id = self.tracer.trace_id
+        self._span_root = root_context(self.tracer.trace_id)
+        self._span_ctx = {}
+        self._stats_mark = asdict(self.stats)
+
+    def _retire_tracer(self) -> None:
+        if self.tracer is not None:
+            self.span_records.extend(self.tracer.records)
+            self.tracer.close()
+            self.tracer = None
+            self._span_root = None
+
+    def _finish_run(self, experiment_id: str, planned: int,
+                    failures_before: int, t_run0: float) -> None:
+        """Close the journal, emit the root ``run`` span, retire the
+        tracer.  Runs in a ``finally`` so even a raising run leaves a
+        root record (status ``failed``) behind."""
+        self._close_journal()
+        if self.tracer is None:
+            return
+        failures_delta = len(self.failures) - failures_before
+        mark = self._stats_mark
+        delta = {name: value - mark.get(name, 0)
+                 for name, value in asdict(self.stats).items()
+                 if isinstance(value, int)}
+        status = ("failed" if sys.exc_info()[0] is not None
+                  else "partial" if failures_delta else "ok")
+        self.tracer.emit_context(
+            self._span_root, t_run0, time.time() - t_run0,
+            experiment_id=experiment_id, run_id=self.last_run_id,
+            status=status, planned=planned,
+            cache_hits=delta.get("cache_hits", 0),
+            cache_misses=delta.get("cache_misses", 0),
+            retries=delta.get("retries", 0),
+            timeouts=delta.get("timeouts", 0),
+            worker_crashes=delta.get("worker_crashes", 0),
+            quarantined=delta.get("quarantined", 0),
+            journal_replays=delta.get("journal_replays", 0),
+        )
+        self.run_records.append({
+            "experiment_id": experiment_id,
+            "run_id": self.last_run_id,
+            "trace_id": self.tracer.trace_id,
+        })
+        self._retire_tracer()
 
     # ------------------------------------------------------------------
     def run_jobs(
@@ -500,12 +623,19 @@ class Runner:
         """
         if keys is None:
             keys = self._plan_keys(settings, jobs)
+        if self.tracer is None:
+            # direct run_jobs callers (no run_experiment envelope) still
+            # get a deterministic trace, in memory only
+            self._mint_trace(journal_mod.default_run_id(experiment_id,
+                                                        settings))
         self._job_index = {}
         for index, key in enumerate(keys):
             self._job_index.setdefault(key, index)
         self._tries = {}
         self._failcount = {}
         self._crashes = {}
+        self._job_t0 = {}
+        self._attempt_t0 = {}
         results: Dict[str, object] = {}
         metrics: Dict[str, Optional[dict]] = {}
         hit_keys = set()
@@ -589,9 +719,10 @@ class Runner:
         for key, job in pending.items():
             while True:
                 fault = self._armed_fault(key, in_process=True)
+                wire, attempt = self._attempt_args(key)
                 try:
-                    result, snapshot, wall_s, worker = _timed_execute(
-                        settings, job, self.watchdog, fault
+                    result, snapshot, wall_s, worker, spans = _timed_execute(
+                        settings, job, self.watchdog, fault, wire, attempt
                     )
                 except Exception as exc:  # noqa: BLE001 - retry boundary
                     backoff = self._note_failure(key, job, exc)
@@ -600,7 +731,7 @@ class Runner:
                     self._sleep(backoff)
                     continue
                 self._complete(key, result, snapshot, wall_s, worker,
-                               results, metrics, timings)
+                               results, metrics, timings, spans)
                 break
 
     def _execute_pool(self, settings, pending, results, metrics,
@@ -659,9 +790,11 @@ class Runner:
                             still.append((key, job))
                             continue
                         fault = self._armed_fault(key, in_process=False)
+                        wire, attempt = self._attempt_args(key)
                         try:
                             fut = pool.submit(_timed_execute, settings, job,
-                                              self.watchdog, fault)
+                                              self.watchdog, fault, wire,
+                                              attempt)
                         except Exception:  # noqa: BLE001 - pool already dead
                             self._tries[key] -= 1
                             still.append((key, job))
@@ -687,7 +820,7 @@ class Runner:
                     key = inflight.pop(fut)
                     started.pop(key, None)
                     try:
-                        result, snapshot, wall_s, worker = fut.result()
+                        result, snapshot, wall_s, worker, spans = fut.result()
                     except BrokenProcessPool:
                         broken_keys.add(key)
                         continue
@@ -700,7 +833,7 @@ class Runner:
                             waiting.append((key, batch[key]))
                         continue
                     self._complete(key, result, snapshot, wall_s, worker,
-                                   results, metrics, timings)
+                                   results, metrics, timings, spans)
                     completed.add(key)
                 if broken_keys:
                     # the pool is dead; every job it still held shared
@@ -713,6 +846,8 @@ class Runner:
                     self.stats.worker_crashes += 1
                     get_probes().count("engine.worker_crashes")
                     for key in victims:
+                        self._record_failed_attempt(
+                            key, "worker process crashed")
                         crashes = self._crashes[key] = (
                             self._crashes.get(key, 0) + 1
                         )
@@ -781,12 +916,55 @@ class Runner:
         get_probes().count("engine.faults_injected")
         return spec
 
+    def _attempt_args(self, key: str) -> Tuple[Optional[dict], int]:
+        """Span wire + attempt number for one submission of ``key``.
+
+        The job span context is minted on the first submission (its
+        record is only *emitted* at completion/quarantine — see
+        :meth:`_emit_job_span`); the attempt number is whatever
+        :meth:`_armed_fault` just counted the try up to.
+        """
+        if self._span_root is None:
+            return None, self._tries.get(key, 1)
+        ctx = self._span_ctx.get(key)
+        if ctx is None:
+            ctx = self._span_ctx[key] = self._span_root.child(
+                "job", qualifier=key)
+            self._job_t0[key] = time.time()
+        self._attempt_t0[key] = time.time()
+        return ctx.to_wire(), self._tries.get(key, 1)
+
+    def _record_failed_attempt(self, key: str, error: str) -> None:
+        """Fabricate the attempt span a failed/crashed worker couldn't
+        ship back; same deterministic id a successful attempt would
+        have used, so serial and pool trees stay identical."""
+        ctx = self._span_ctx.get(key)
+        if ctx is None or self.tracer is None:
+            return
+        now = time.time()
+        t0 = self._attempt_t0.get(key, now)
+        self.tracer.record_span(
+            "attempt", parent=ctx, qualifier=str(self._tries.get(key, 0)),
+            t0=t0, dur_s=now - t0, error=error)
+
+    def _emit_job_span(self, key: str, status: str) -> None:
+        ctx = self._span_ctx.get(key)
+        if ctx is None or self.tracer is None:
+            return
+        now = time.time()
+        t0 = self._job_t0.get(key, now)
+        self.tracer.emit_context(
+            ctx, t0, now - t0, digest=key,
+            index=self._job_index.get(key, -1), status=status,
+            attempts=self._tries.get(key, 0))
+
     def _note_failure(self, key: str, job: SimJob, exc: BaseException):
         """Record a failed attempt; backoff seconds, or ``None`` when
         the job is out of attempts and has been quarantined."""
         ambient = get_probes()
         fails = self._failcount[key] = self._failcount.get(key, 0) + 1
         ambient.count("engine.job_failures")
+        self._record_failed_attempt(key, f"{type(exc).__name__}: {exc}")
         if fails >= self.retry.max_attempts:
             self._quarantine(key, job, error=f"{type(exc).__name__}: {exc}")
             return None
@@ -806,6 +984,7 @@ class Runner:
         self.failures.append(failure)
         self.stats.quarantined += 1
         get_probes().count("engine.quarantined_jobs")
+        self._emit_job_span(key, status="quarantined")
         if self._journal is not None:
             self._journal.record_failed(
                 key, error=error, attempts=failure.attempts,
@@ -850,10 +1029,15 @@ class Runner:
 
     # ------------------------------------------------------------------
     def _complete(self, key, result, snapshot, wall_s, worker,
-                  results, metrics, timings) -> None:
+                  results, metrics, timings, span_records=()) -> None:
         results[key] = result
         metrics[key] = snapshot
         timings[key] = (wall_s, worker)
+        if self.tracer is not None and span_records:
+            # the worker's attempt + kernel-phase spans, recorded under
+            # the job context we shipped it
+            self.tracer.add_records(span_records)
+        self._emit_job_span(key, status="done")
         if self.cache:
             self.cache.put(key, _pack_cached(result, snapshot))
         if self._journal is not None:
@@ -927,10 +1111,16 @@ class Runner:
             )
             return result
         start = time.perf_counter()
+        t0_wall = time.time()
         result, snapshot = _captured_call(
             lambda: experiment.legacy_run(settings), self.watchdog
         )
         wall_s = time.perf_counter() - start
+        if self.tracer is not None:
+            self.tracer.record_span(
+                "job", parent=self._span_root, qualifier=key,
+                t0=t0_wall, dur_s=wall_s, digest=key, status="done",
+                legacy=True)
         ambient = get_probes()
         if ambient.enabled and snapshot:
             ambient.merge_snapshot(snapshot, include_phases=True)
@@ -968,11 +1158,14 @@ class Runner:
 
         ``merged`` is the fold of every unique job's probe snapshot (in
         plan order — identical whatever ``jobs`` was); ``jobs`` lists
-        the per-job snapshots keyed by digest, in merge order.
+        the per-job snapshots keyed by digest, in merge order; ``runs``
+        names each run this runner executed with its run and trace ids
+        so scripted callers can correlate without scraping stderr.
         """
         return {
             "merged": self.merged_metrics,
             "jobs": list(self.metrics_entries),
+            "runs": [dict(entry) for entry in self.run_records],
         }
 
     def write_metrics_manifest(self, path) -> None:
@@ -1135,6 +1328,7 @@ def execute_request(request: ExperimentRequest) -> dict:
         "wall_s": round(time.perf_counter() - start, 4),
         "metrics": runner.merged_metrics,
         "run_id": runner.last_run_id,
+        "trace_id": runner.last_trace_id,
         "retries": runner.stats.retries,
         "journal_replays": runner.stats.journal_replays,
         "failures": [asdict(f) for f in runner.failures],

@@ -98,6 +98,10 @@ class RunRequest:
         A :class:`FaultPlan` for deterministic chaos testing.
     journal:
         Set ``False`` to suppress the per-run journal.
+    span_flush_every:
+        Flush the run's span store every N records so the trace
+        survives a crash (``None``: buffer until close; the chaos
+        driver arms ``1``).
     """
 
     experiment_id: Optional[str] = None
@@ -114,6 +118,7 @@ class RunRequest:
     run_id: Optional[str] = None
     faults: Optional[FaultPlan] = None
     journal: bool = True
+    span_flush_every: Optional[int] = None
 
 
 def resolve_jobs(jobs: Optional[int], probes) -> Optional[int]:
@@ -148,6 +153,7 @@ def build_runner(
     retry: Optional[RetryPolicy] = None,
     faults: Optional[FaultPlan] = None,
     journal: bool = True,
+    span_flush_every: Optional[int] = None,
 ) -> Runner:
     """Assemble a :class:`Runner` from policy knobs.
 
@@ -169,6 +175,7 @@ def build_runner(
         retry=retry,
         faults=faults,
         journal=journal,
+        span_flush_every=span_flush_every,
     )
 
 
@@ -183,6 +190,7 @@ def runner_for(request: RunRequest) -> Runner:
         retry=request.retry,
         faults=request.faults,
         journal=request.journal,
+        span_flush_every=request.span_flush_every,
     )
 
 

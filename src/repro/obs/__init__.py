@@ -45,6 +45,16 @@ from repro.obs.probes import (
     ListTraceSink,
     ProbeBus,
 )
+from repro.obs.spans import (
+    NULL_TRACER,
+    SpanContext,
+    SpanTracer,
+    get_tracer,
+    span_tree,
+    trace_id_for_run,
+    tree_signature,
+    use_tracer,
+)
 
 __all__ = [
     "Gauge",
@@ -53,16 +63,24 @@ __all__ = [
     "JsonlTraceSink",
     "ListTraceSink",
     "NULL_PROBES",
+    "NULL_TRACER",
     "NULL_WATCHDOG",
     "ProbeBus",
+    "SpanContext",
+    "SpanTracer",
     "empty_snapshot",
     "get_probes",
+    "get_tracer",
     "get_watchdog",
     "instrument",
     "merge_snapshots",
     "prometheus_text",
     "register_histogram",
+    "span_tree",
+    "trace_id_for_run",
+    "tree_signature",
     "use_probes",
+    "use_tracer",
     "use_watchdog",
     "watch",
 ]

@@ -48,9 +48,19 @@ from repro.obs.metrics import Gauge, Histogram, bounds_for
 
 
 class JsonlTraceSink:
-    """Writes probe events as JSON lines to a path or open file."""
+    """Writes probe events as JSON lines to a path or open file.
 
-    def __init__(self, target: Union[str, Path, TextIO]):
+    ``flush_every=N`` flushes the underlying file after every N records
+    so a trace survives a worker crash (off by default: flushing every
+    line costs syscalls the happy path doesn't need — the chaos driver
+    and the engine's span store arm it).  ``append=True`` opens an
+    owned path in append mode, for stores shared across resumes.
+    """
+
+    def __init__(self, target: Union[str, Path, TextIO], *,
+                 flush_every: Optional[int] = None, append: bool = False):
+        if flush_every is not None and flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
         if hasattr(target, "write"):
             self._fh: TextIO = target
             self._owns = False
@@ -58,14 +68,19 @@ class JsonlTraceSink:
         else:
             self.path = Path(target)
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = self.path.open("w", encoding="utf-8")
+            self._fh = self.path.open("a" if append else "w",
+                                      encoding="utf-8")
             self._owns = True
         self._closed = False
+        self.flush_every = flush_every
         self.events_written = 0
 
     def emit(self, record: dict) -> None:
         self._fh.write(json.dumps(record, sort_keys=True) + "\n")
         self.events_written += 1
+        if (self.flush_every is not None
+                and self.events_written % self.flush_every == 0):
+            self._fh.flush()
 
     def close(self) -> None:
         """Flush (and close an owned file); safe to call repeatedly."""

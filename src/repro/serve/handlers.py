@@ -229,6 +229,72 @@ async def handle_sweep(server, request: HttpRequest) -> Response:
                     headers=headers)
 
 
+# ----------------------------------------------------------------------
+# data plane: /v1/runs/{run_id}
+# ----------------------------------------------------------------------
+def handle_run_status(server, run_id: str, request: HttpRequest) -> Response:
+    """Live/finished status of one run, from journal + span store.
+
+    A run is known if it has a journal, a span store, or is executing
+    in a worker right now.  ``state`` is ``running`` while in flight;
+    otherwise the root ``run`` span's recorded status (``ok`` /
+    ``partial`` / ``failed``) decides, and a journal with no root span
+    means the run was ``interrupted`` (killed before finishing — its
+    resume token still works).
+    """
+    from pathlib import Path
+
+    from repro.experiments import journal as journal_mod
+    from repro.experiments.cache import default_cache_dir
+    from repro.experiments.engine import request_run_id
+    from repro.obs.spans import dedupe_spans, read_spans, span_path
+
+    root = (Path(server.config.cache_dir) if server.config.cache_dir
+            else default_cache_dir())
+    state = journal_mod.load_state(root, run_id)
+    spans = dedupe_spans(read_spans(span_path(root, run_id)))
+    running = any(
+        (req.resume or request_run_id(req)) == run_id
+        for req in list(server._inflight_experiments.values())
+    )
+    if state is None and not spans and not running:
+        raise HttpError(404, f"unknown run {run_id!r}")
+
+    by_name = {}
+    for span in spans:
+        by_name.setdefault(span.get("name"), []).append(span)
+    run_span = next(iter(by_name.get("run", [])), None)
+    plan_span = next(iter(by_name.get("plan", [])), None)
+    if running:
+        run_state = "running"
+    elif run_span is not None:
+        status = run_span.get("status", "ok")
+        run_state = "finished" if status == "ok" else status
+    elif state is not None or spans:
+        run_state = "interrupted"
+
+    planned = plan_span.get("planned") if plan_span else None
+    done = len(state.done) if state else 0
+    failed = len(state.failed) if state else 0
+    retries = sum(1 for s in by_name.get("attempt", ()) if "error" in s)
+    body = {
+        "run_id": run_id,
+        "trace_id": spans[0]["trace_id"] if spans else None,
+        "experiment_id": (state.experiment_id if state
+                          else (run_span or {}).get("experiment_id")),
+        "state": run_state,
+        "jobs": {"planned": planned, "done": done, "failed": failed},
+        "retries": retries,
+        "spans": len(spans),
+        "resumable": state is not None,
+    }
+    if run_span is not None:
+        body["wall_s"] = run_span.get("dur_s")
+        body["cache_hits"] = run_span.get("cache_hits")
+        body["cache_misses"] = run_span.get("cache_misses")
+    return Response(body=json_body(body))
+
+
 async def handle_experiment(server, experiment_id: str,
                             request: HttpRequest) -> Response:
     engine_request = parse_experiment_request(server, experiment_id, request)

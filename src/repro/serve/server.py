@@ -47,6 +47,7 @@ import asyncio
 import json
 import os
 import signal
+import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import asdict, dataclass, replace
 from pathlib import Path
@@ -60,6 +61,7 @@ from repro.experiments.engine import (
     request_run_id,
 )
 from repro.obs import ProbeBus, merge_snapshots
+from repro.obs.spans import SpanTracer, append_spans, root_context
 from repro.serve import handlers
 from repro.serve.batching import MicroBatcher, make_transform_processor
 from repro.serve.http import (
@@ -329,6 +331,13 @@ class ReproServer:
             return await handlers.handle_experiment(
                 self, experiment_id, request
             )
+        if path.startswith("/v1/runs/"):
+            if request.method != "GET":
+                raise HttpError(405, "use GET")
+            run_id = path[len("/v1/runs/"):]
+            if not run_id or "/" in run_id:
+                raise HttpError(404, f"no such route: {path}")
+            return handlers.handle_run_status(self, run_id, request)
         raise HttpError(404, f"no such route: {path}")
 
     def _finish(self, request: HttpRequest, response: handlers.Response,
@@ -353,7 +362,8 @@ class ReproServer:
         """
         key = request_digest(request)
         task = self._singleflight.get(key)
-        if task is None:
+        coalesced = task is not None
+        if not coalesced:
             task = asyncio.get_running_loop().create_task(
                 self._execute_experiment(request)
             )
@@ -363,19 +373,29 @@ class ReproServer:
             )
         else:
             self.bus.count("serve.experiments_coalesced")
-        return await asyncio.shield(task)
+        t_req = time.time()
+        payload = await asyncio.shield(task)
+        if coalesced:
+            # followers joined an execution the leader's spans cover;
+            # their own wait still gets a (coalesced) request span
+            self._record_serve_spans(request, payload, t_req,
+                                     time.time() - t_req, coalesced=True)
+        return payload
 
     async def _execute_experiment(self, request: ExperimentRequest) -> dict:
         self.bus.count("serve.experiments_submitted")
         loop = asyncio.get_running_loop()
         key = request_digest(request)
         self._inflight_experiments[key] = request
+        t_req = time.time()
+        t_mono = loop.time()
         try:
             payload = await loop.run_in_executor(
                 self._executor, execute_request, request
             )
         finally:
             self._inflight_experiments.pop(key, None)
+        offload_s = loop.time() - t_mono
         self.bus.count("serve.experiment_cache_hits", payload["cache_hits"])
         self.bus.count("serve.experiment_cache_misses",
                        payload["cache_misses"])
@@ -384,7 +404,50 @@ class ReproServer:
         # /metrics exposes engine counters alongside serving metrics
         if payload.get("metrics"):
             self.bus.merge_snapshot(payload["metrics"])
+        self._record_serve_spans(
+            request, payload, t_req, time.time() - t_req,
+            coalesced=False, offload_s=offload_s,
+        )
         return payload
+
+    def _record_serve_spans(self, request: ExperimentRequest, payload: dict,
+                            t_req: float, dur_s: float, *, coalesced: bool,
+                            offload_s: Optional[float] = None) -> None:
+        """Append this submission's serve-side spans to the run's store.
+
+        The engine already wrote the run's own tree (root/plan/jobs)
+        under the deterministic trace id; serve spans attach to the same
+        root so ``repro inspect`` shows queueing and offload next to
+        the work itself.  Qualifiers carry the pid and submission time
+        — serve spans describe *this* submission, so unlike the engine's
+        structural spans they must never dedupe across submissions.
+        """
+        trace_id = payload.get("trace_id")
+        run_id = payload.get("run_id")
+        if not self.config.use_cache or not trace_id or not run_id:
+            return
+        try:
+            tracer = SpanTracer(trace_id)
+            q = f"{os.getpid()}.{int(t_req * 1e6)}"
+            req_ctx = tracer.record_span(
+                "serve.request", parent=root_context(trace_id), qualifier=q,
+                t0=t_req, dur_s=dur_s, digest=request_digest(request),
+                coalesced=True if coalesced else None,
+            )
+            if offload_s is not None:
+                # queue wait: executor round-trip minus the worker's own
+                # measured wall time
+                queue_s = max(0.0, offload_s - payload.get("wall_s", 0.0))
+                tracer.record_span(
+                    "serve.offload", parent=req_ctx, qualifier=q,
+                    t0=t_req, dur_s=offload_s, queue_s=round(queue_s, 6),
+                    worker_wall_s=payload.get("wall_s"),
+                )
+            root = (Path(self.config.cache_dir) if self.config.cache_dir
+                    else default_cache_dir())
+            append_spans(root, run_id, tracer.records)
+        except OSError:  # pragma: no cover - span store is best-effort
+            pass
 
     # ------------------------------------------------------------------
     # drain-time journaling of in-flight experiments

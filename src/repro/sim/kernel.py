@@ -26,6 +26,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.dram.refresh import RefreshStats
 from repro.obs import get_probes
+from repro.obs.spans import get_tracer
 from repro.sim.scheme import RefreshScheme, WriteHook
 
 TrafficSource = Callable[[int, float], Optional[WriteHook]]
@@ -93,7 +94,11 @@ class SimKernel:
         """
         if n_windows <= 0:
             return
-        with self.probes.phase("warmup"):
+        # span + phase: the phase totals wall time per name on the
+        # probe bus, the span places it in the run's causal tree
+        with self.probes.phase("warmup"), \
+                get_tracer().span("warmup", kernel=self.name,
+                                  windows=n_windows):
             for _ in range(n_windows):
                 self.scheme.run_window(self.time_s)
                 self.probes.event("sim.window", kernel=self.name,
@@ -158,7 +163,9 @@ class SimKernel:
         """
         self.run_warmup(warmup_windows)
         self.begin_measurement()
-        with self.probes.phase("measure"):
+        with self.probes.phase("measure"), \
+                get_tracer().span("measure", kernel=self.name,
+                                  windows=n_windows):
             for _ in range(n_windows):
                 self.step()
         self.probes.gauge("sim.time_s", self.time_s)

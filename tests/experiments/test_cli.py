@@ -43,6 +43,43 @@ class TestEngineFlags:
         assert parsed["experiment_id"] == "sram"
         assert parsed["headers"][0] == "design"
 
+    def test_json_output_carries_run_and_trace_ids(self, tmp_path, capsys):
+        import json
+
+        args = ["sram", "--quick", "--json",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)
+        assert doc["run_id"] and doc["run_id"] in captured.err
+        assert len(doc["trace_id"]) == 16
+        assert doc["trace_id"] in captured.err
+        # deterministic ids: warm rerun prints byte-identical JSON
+        assert main(args) == 0
+        assert json.loads(capsys.readouterr().out) == doc
+
+    def test_inspect_subcommand(self, tmp_path, capsys):
+        import json
+
+        cache = tmp_path / "cache"
+        assert main(["sram", "--quick", "--json",
+                     "--cache-dir", str(cache)]) == 0
+        run_id = json.loads(capsys.readouterr().out)["run_id"]
+        assert main(["inspect", run_id, "--cache-dir", str(cache)]) == 0
+        report = capsys.readouterr().out
+        assert run_id in report
+        assert "state: finished" in report
+        assert main(["inspect", run_id, "--cache-dir", str(cache),
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["run_id"] == run_id
+        assert doc["state"] == "finished"
+
+    def test_inspect_unknown_run_exits_nonzero(self, tmp_path, capsys):
+        assert main(["inspect", "no-such-run",
+                     "--cache-dir", str(tmp_path)]) == 1
+        assert "unknown run" in capsys.readouterr().err
+
     def test_csv_out(self, tmp_path, capsys):
         out = tmp_path / "csv"
         assert main(["sram", "--quick", "--no-cache",
@@ -151,8 +188,12 @@ class TestInstrumentationFlags:
         assert main(self.BASE + ["--metrics-json", str(metrics)]) == 0
         assert f"metrics: {metrics}" in capsys.readouterr().err
         doc = json.loads(metrics.read_text())
-        assert set(doc) == {"merged", "jobs"}
+        assert set(doc) == {"merged", "jobs", "runs"}
         assert doc["merged"]["counters"]["sim.windows"] >= 1
+        (run,) = doc["runs"]
+        assert run["experiment_id"] == "ext-vrt"
+        assert run["run_id"] is None  # BASE runs --no-cache
+        assert len(run["trace_id"]) == 16
 
     def test_metrics_json_identical_across_fan_out(self, tmp_path):
         import json

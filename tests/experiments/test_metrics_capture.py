@@ -24,9 +24,11 @@ MICRO = ExperimentSettings(
 
 
 def _deterministic(manifest):
-    """The manifest minus machine-dependent wall-clock sections."""
+    """The manifest minus machine-dependent wall-clock sections (and
+    the runs section, whose run ids differ across resume scenarios)."""
     doc = json.loads(json.dumps(manifest))
     doc["merged"].pop("phases", None)
+    doc.pop("runs", None)
     for entry in doc["jobs"]:
         entry["metrics"].pop("phases", None)
     return doc
@@ -138,7 +140,12 @@ class TestManifestFile:
         path = tmp_path / "out" / "metrics.json"
         runner.write_metrics_manifest(path)
         doc = json.loads(path.read_text())
-        assert set(doc) == {"merged", "jobs"}
+        assert set(doc) == {"merged", "jobs", "runs"}
         assert doc["merged"]["counters"]["sim.windows"] > 0
         assert doc["merged"]["invariants"]["violation_count"] == 0
         assert len(doc["jobs"]) == len(MICRO.benchmarks)
+        # cache-less runs have no resume token but always a trace id
+        (run,) = doc["runs"]
+        assert run["experiment_id"] == "fig17"
+        assert run["run_id"] is None
+        assert len(run["trace_id"]) == 16

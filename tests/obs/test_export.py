@@ -10,8 +10,10 @@ from repro.obs.export import (
     convert_jsonl,
     main,
     read_jsonl,
+    span_chrome_events,
     write_chrome_trace,
 )
+from repro.obs.spans import root_context, trace_id_for_run
 
 
 def _instants(doc):
@@ -118,6 +120,73 @@ class TestFiles:
         # metadata + instant + one counter track
         assert n == 3
         assert [e["ph"] for e in doc["traceEvents"]] == ["M", "i", "C"]
+
+
+def _span_records():
+    tid = trace_id_for_run("r")
+    root = root_context(tid)
+    job1, job2 = root.child("job", "d1"), root.child("job", "d2")
+    att = job1.child("attempt", "1")
+
+    def rec(ctx, t0, dur_s, **attrs):
+        return dict(attrs, trace_id=ctx.trace_id, span_id=ctx.span_id,
+                    parent_id=ctx.parent_id, name=ctx.name,
+                    q=ctx.qualifier, t0=t0, dur_s=dur_s)
+
+    return [rec(root, 100.0, 5.0, status="ok"),
+            rec(job1, 101.0, 3.0), rec(att, 101.0, 3.0),
+            rec(job2, 101.0, 2.0)]
+
+
+class TestSpanEvents:
+    def test_complete_slices_rebased_to_zero(self):
+        events = span_chrome_events(_span_records())
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(slices) == 4
+        run = next(e for e in slices if e["name"] == "run")
+        assert run["ts"] == 0.0  # rebased: earliest span is t=0
+        assert run["dur"] == 5_000_000.0
+
+    def test_job_subtrees_get_distinct_lanes(self):
+        events = span_chrome_events(_span_records())
+        lanes = {e["name"]: e["tid"] for e in events if e["ph"] == "X"}
+        assert lanes["run"] == 0
+        assert lanes["job d1"] != lanes["job d2"]
+        # the attempt inherits its job's lane
+        assert lanes["attempt 1"] == lanes["job d1"]
+
+    def test_trace_gets_its_own_process_track(self):
+        events = span_chrome_events(_span_records())
+        (meta,) = [e for e in events if e["ph"] == "M"]
+        tid = trace_id_for_run("r")
+        assert meta["args"]["name"] == f"spans:{tid}"
+        assert all(e["pid"] == meta["pid"]
+                   for e in events if e["ph"] == "X")
+
+    def test_merged_into_chrome_trace_without_touching_instants(self):
+        probe = [{"event": "sim.window", "t": 0.0, "refreshed": 1}]
+        plain = chrome_trace(probe)
+        merged = chrome_trace(probe, span_records=_span_records())
+        instants = [e for e in merged["traceEvents"] if e["ph"] == "i"]
+        assert instants == [e for e in plain["traceEvents"]
+                            if e["ph"] == "i"]
+        assert any(e["ph"] == "X" for e in merged["traceEvents"])
+
+    def test_convert_jsonl_autodetects_span_store(self, tmp_path):
+        src = tmp_path / "spans.jsonl"
+        src.write_text("".join(json.dumps(r) + "\n"
+                               for r in _span_records()))
+        out = tmp_path / "spans.chrome.json"
+        n = convert_jsonl(src, out)
+        doc = json.loads(out.read_text())
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == 4
+        assert n == len(doc["traceEvents"])
+
+    def test_empty_span_records_is_a_noop(self):
+        assert span_chrome_events([]) == []
+        doc = chrome_trace([], span_records=[])
+        assert doc["traceEvents"] == []
 
 
 class TestMain:

@@ -1,11 +1,110 @@
-"""Tests for the Prometheus text exposition of probe-bus snapshots."""
+"""Tests for the Prometheus text exposition of probe-bus snapshots.
+
+Also home of :func:`parse_prometheus` / :func:`histogram_view`, the
+strict exposition-format parser these tests (and the serve tests)
+assert through — it lives here, in a collected test module, so its own
+format checks run with the suite instead of sitting in a stray helper.
+"""
+
+import re
 
 import pytest
 
 from repro.obs import ProbeBus, merge_snapshots
 from repro.obs.metrics import prometheus_text, register_histogram
 
-from tests.obs.promtext import histogram_view, parse_prometheus
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"$')
+
+
+def parse_prometheus(text):
+    """Parse exposition text into ``{name: {"type": t, "samples": [...]}}``.
+
+    Strict enough to catch real formatting mistakes: every non-comment
+    line must be ``name[{labels}] value``, names must match the metric
+    name grammar, and label values must be quoted.  Samples are
+    ``(labels_dict, float_value)`` tuples.  Raises ``ValueError`` on
+    any line that is not valid exposition format, so using this parser
+    *is* the format assertion.
+    """
+    metrics = {}
+    types = {}
+    if not text.endswith("\n"):
+        raise ValueError("exposition text must end with a newline")
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"invalid exposition line: {line!r}")
+        labels = {}
+        if match.group("labels"):
+            for part in match.group("labels").split(","):
+                label_match = _LABEL_RE.match(part.strip())
+                if label_match is None:
+                    raise ValueError(f"invalid label in line: {line!r}")
+                labels[label_match.group("key")] = label_match.group("value")
+        raw = match.group("value")
+        value = float("inf") if raw == "+Inf" else float(raw)
+        name = match.group("name")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count", "_total"):
+            if name.endswith(suffix):
+                base = name[: -len(suffix)]
+                break
+        entry = metrics.setdefault(
+            name, {"type": types.get(name) or types.get(base), "samples": []}
+        )
+        entry["samples"].append((labels, value))
+    return metrics
+
+
+def histogram_view(metrics, name):
+    """Return ``(bucket_counts_by_le, total_count, total_sum)`` for a
+    histogram metric ``name`` parsed by :func:`parse_prometheus`."""
+    buckets = {}
+    for labels, value in metrics[f"{name}_bucket"]["samples"]:
+        buckets[labels["le"]] = value
+    count = metrics[f"{name}_count"]["samples"][0][1]
+    total = metrics[f"{name}_sum"]["samples"][0][1]
+    return buckets, count, total
+
+
+class TestParserStrictness:
+    """The parser must reject malformed exposition text, or every
+    test that asserts through it is vacuous."""
+
+    def test_rejects_missing_trailing_newline(self):
+        with pytest.raises(ValueError, match="newline"):
+            parse_prometheus("repro_x_total 1")
+
+    def test_rejects_invalid_sample_line(self):
+        with pytest.raises(ValueError, match="invalid exposition line"):
+            parse_prometheus("not a metric line!\n")
+
+    def test_rejects_unquoted_label_value(self):
+        with pytest.raises(ValueError, match="invalid label"):
+            parse_prometheus('repro_x_total{phase=measure} 1\n')
+
+    def test_parses_inf_and_types(self):
+        text = ("# TYPE repro_lat_s histogram\n"
+                'repro_lat_s_bucket{le="+Inf"} 5\n')
+        metrics = parse_prometheus(text)
+        assert metrics["repro_lat_s_bucket"]["type"] == "histogram"
+        (labels, value), = metrics["repro_lat_s_bucket"]["samples"]
+        assert labels == {"le": "+Inf"} and value == 5.0
+        assert parse_prometheus("repro_x +Inf\n")["repro_x"]["samples"] == [
+            ({}, float("inf"))
+        ]
 
 
 @pytest.fixture

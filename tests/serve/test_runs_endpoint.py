@@ -1,0 +1,129 @@
+"""``GET /v1/runs/{run_id}``: run status from journal + span store.
+
+The serving daemon's read side of span tracing: after an experiment
+executes, its run id (the ``X-Repro-Run-Id`` header) resolves to a
+status document joining the journal and the span store — including the
+``serve.request`` spans the daemon itself appends.
+"""
+
+import asyncio
+import json
+
+from repro.experiments import REGISTRY
+from repro.obs.spans import dedupe_spans, read_spans, span_path
+from repro.serve import ReproServer, ServeConfig
+from repro.serve.http import ClientConnection
+
+from tests.serve.test_server import fake_experiment, run_async
+
+
+class TestRunsEndpoint:
+    def test_status_after_execution(self, monkeypatch, tmp_path):
+        calls = []
+        monkeypatch.setitem(
+            REGISTRY, "_svc_runs", fake_experiment("_svc_runs", calls))
+        cache = tmp_path / "cache"
+
+        async def scenario():
+            server = ReproServer(ServeConfig(
+                port=0, workers=0, cache_dir=str(cache),
+            ))
+            await server.start()
+            try:
+                async with ClientConnection(server.host, server.port) as conn:
+                    _, headers, _ = await conn.request(
+                        "POST", "/v1/experiments/_svc_runs",
+                        body=json.dumps({"quick": True}).encode(),
+                    )
+                    run_id = headers.get("x-repro-run-id")
+                    status, _, body = await conn.request(
+                        "GET", f"/v1/runs/{run_id}")
+                return run_id, status, json.loads(body)
+            finally:
+                await server.drain()
+
+        run_id, status, doc = run_async(scenario())
+        assert status == 200
+        assert doc["run_id"] == run_id
+        assert doc["state"] == "finished"
+        assert doc["jobs"]["done"] == 1
+        assert doc["resumable"] is True
+        assert doc["retries"] == 0
+        assert len(doc["trace_id"]) == 16
+        assert doc["spans"] >= 1
+
+        # the daemon appended its own serve.request span to the store
+        spans = dedupe_spans(read_spans(span_path(cache, run_id)))
+        names = {s["name"] for s in spans}
+        assert "serve.request" in names
+        assert "serve.offload" in names
+
+    def test_unknown_run_is_404(self):
+        async def scenario():
+            server = ReproServer(ServeConfig(port=0, workers=0))
+            await server.start()
+            try:
+                async with ClientConnection(server.host, server.port) as conn:
+                    status, _, body = await conn.request(
+                        "GET", "/v1/runs/never-happened")
+                return status, body
+            finally:
+                await server.drain()
+
+        status, body = run_async(scenario())
+        assert status == 404
+        assert b"unknown run" in body
+
+    def test_post_is_method_not_allowed(self):
+        async def scenario():
+            server = ReproServer(ServeConfig(port=0, workers=0))
+            await server.start()
+            try:
+                async with ClientConnection(server.host, server.port) as conn:
+                    status, _, _ = await conn.request(
+                        "POST", "/v1/runs/whatever", body=b"{}")
+                return status
+            finally:
+                await server.drain()
+
+        assert run_async(scenario()) == 405
+
+    def test_coalesced_requests_each_leave_a_span(
+        self, monkeypatch, tmp_path
+    ):
+        """Two concurrent identical submissions single-flight into one
+        execution, but both leave serve.request spans (the follower's
+        marked coalesced) — span qualifiers are submission-unique."""
+        calls = []
+        monkeypatch.setitem(
+            REGISTRY, "_svc_coal",
+            fake_experiment("_svc_coal", calls, delay_s=0.3))
+        cache = tmp_path / "cache"
+
+        async def scenario():
+            server = ReproServer(ServeConfig(
+                port=0, workers=0, cache_dir=str(cache),
+            ))
+            await server.start()
+            try:
+                async def post():
+                    async with ClientConnection(
+                        server.host, server.port
+                    ) as conn:
+                        _, headers, _ = await conn.request(
+                            "POST", "/v1/experiments/_svc_coal",
+                            body=json.dumps({"quick": True}).encode(),
+                        )
+                        return headers.get("x-repro-run-id")
+                run_ids = await asyncio.gather(post(), post())
+                return run_ids
+            finally:
+                await server.drain()
+
+        run_ids = run_async(scenario())
+        assert len(set(run_ids)) == 1
+        assert len(calls) == 1  # single-flight executed once
+        spans = dedupe_spans(read_spans(span_path(cache, run_ids[0])))
+        requests = [s for s in spans if s["name"] == "serve.request"]
+        assert len(requests) == 2
+        assert sum(1 for s in requests if s.get("coalesced")) == 1

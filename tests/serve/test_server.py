@@ -26,7 +26,7 @@ from repro.serve.http import ClientConnection
 from repro.transform.celltype import CellTypeLayout, CellTypePredictor
 from repro.transform.codec import ValueTransformCodec
 
-from tests.obs.promtext import histogram_view, parse_prometheus
+from tests.obs.test_prometheus import histogram_view, parse_prometheus
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
