@@ -186,19 +186,28 @@ def make_runner(
     faults: Optional[FaultPlan] = None,
     journal: bool = True,
     span_flush_every: Optional[int] = None,
+    backend=None,
+    workers: Optional[int] = None,
+    worker_address: Optional[str] = None,
 ) -> Runner:
     """A configured engine :class:`Runner`.
 
     ``jobs=None`` uses every core; ``cache`` accepts ``True`` (default
     location), ``False`` (no caching) or a ready :class:`ResultCache`.
     ``watchdog=True`` runs every job under an invariant watchdog whose
-    findings land in the runner's metrics manifest.  The remaining
-    knobs mirror :class:`RunRequest`'s lifecycle policy fields.
+    findings land in the runner's metrics manifest.  ``backend``
+    selects the execution vehicle (``"serial"`` | ``"pool"`` |
+    ``"cluster"``; default derives from ``jobs``) — a cluster runner
+    spawns ``workers`` local workers or binds ``worker_address`` for
+    external ones, and should be released with ``Runner.close()``.
+    The remaining knobs mirror :class:`RunRequest`'s lifecycle policy
+    fields.
     """
     return build_runner(
         jobs=jobs, cache=cache, cache_dir=cache_dir, watchdog=watchdog,
         timeout_s=timeout_s, retry=retry, faults=faults, journal=journal,
-        span_flush_every=span_flush_every,
+        span_flush_every=span_flush_every, backend=backend,
+        workers=workers, worker_address=worker_address,
     )
 
 

@@ -1,0 +1,161 @@
+"""The cluster wire protocol: length-prefixed JSON frames.
+
+Every message between coordinator and worker is one *frame*: a 4-byte
+big-endian length followed by that many bytes of UTF-8 JSON.  JSON
+keeps the envelope debuggable (``socat`` a worker and read it); the
+Python-native values that JSON cannot carry — ``ExperimentSettings``,
+:class:`~repro.experiments.engine.SimJob`, armed
+:class:`~repro.experiments.faults.FaultSpec`\\ s, result tuples — ride
+in designated fields as base64-wrapped pickles via
+:func:`encode_payload`/:func:`decode_payload`.  Span wire contexts and
+attempt numbers are plain JSON already and stay readable.
+
+Frame vocabulary (``type`` field):
+
+=============  =========  ==================================================
+type           direction  fields
+=============  =========  ==================================================
+``hello``      w → c      ``pid``, ``host``
+``welcome``    c → w      ``worker_id``, ``heartbeat_s``
+``heartbeat``  w → c      (none — receipt renews the lease)
+``job``        c → w      ``task``, ``settings``*, ``job``*, ``watchdog``,
+                          ``fault``*, ``span_wire``, ``attempt``
+``result``     w → c      ``task``, ``payload``* (the 5-tuple
+                          ``(result, snapshot, wall_s, pid, spans)``)
+``error``      w → c      ``task``, ``error_type``, ``error``
+``shutdown``   c → w      (none)
+=============  =========  ==================================================
+
+Starred fields are pickle payloads.  Pickle is safe here because both
+ends are the same trusted codebase on a private socket — the protocol
+is an execution fan-out, not a public API.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+import struct
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+__all__ = [
+    "FrameError",
+    "FrameReader",
+    "MAX_FRAME_BYTES",
+    "decode_payload",
+    "encode_frame",
+    "encode_payload",
+    "parse_address",
+    "recv_frame",
+    "send_frame",
+]
+
+_LEN = struct.Struct(">I")
+
+MAX_FRAME_BYTES = 64 << 20
+"""Upper bound on one frame; a larger prefix means a corrupt stream."""
+
+
+class FrameError(ValueError):
+    """The byte stream is not a well-formed frame sequence."""
+
+
+def encode_payload(obj) -> str:
+    """An opaque Python value as a JSON-safe string (pickle + base64)."""
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def decode_payload(data: str):
+    """Inverse of :func:`encode_payload`."""
+    return pickle.loads(base64.b64decode(data.encode("ascii")))
+
+
+def encode_frame(frame: dict) -> bytes:
+    """One frame as wire bytes (length prefix + JSON body)."""
+    body = json.dumps(frame, sort_keys=True).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(body)} bytes exceeds "
+                         f"{MAX_FRAME_BYTES}")
+    return _LEN.pack(len(body)) + body
+
+
+def send_frame(sock: socket.socket, frame: dict) -> None:
+    """Write one frame to a (blocking) socket."""
+    sock.sendall(encode_frame(frame))
+
+
+class FrameReader:
+    """Incremental frame parser over an arbitrary byte stream.
+
+    Feed it whatever ``recv`` returned; it hands back every complete
+    frame and buffers the remainder — the coordinator's non-blocking
+    reads and the worker's blocking reads share this one parser.
+    """
+
+    def __init__(self):
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> List[dict]:
+        self._buf.extend(data)
+        frames: List[dict] = []
+        while True:
+            if len(self._buf) < _LEN.size:
+                return frames
+            (length,) = _LEN.unpack_from(self._buf)
+            if length > MAX_FRAME_BYTES:
+                raise FrameError(f"frame prefix {length} exceeds "
+                                 f"{MAX_FRAME_BYTES}")
+            end = _LEN.size + length
+            if len(self._buf) < end:
+                return frames
+            body = bytes(self._buf[_LEN.size:end])
+            del self._buf[:end]
+            try:
+                frame = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise FrameError(f"undecodable frame body: {exc}") from exc
+            if not isinstance(frame, dict) or "type" not in frame:
+                raise FrameError(f"frame is not a typed object: {frame!r}")
+            frames.append(frame)
+
+
+def recv_frame(sock: socket.socket,
+               reader: Optional[FrameReader] = None) -> Optional[dict]:
+    """Block until one frame arrives; ``None`` on clean EOF.
+
+    With a shared ``reader``, bytes beyond the first frame stay
+    buffered for the next call.
+    """
+    reader = reader if reader is not None else FrameReader()
+    pending = reader.feed(b"")
+    while not pending:
+        data = sock.recv(65536)
+        if not data:
+            return None
+        pending = reader.feed(data)
+    # feed() drained the buffer into `pending`; push extras back
+    frame = pending[0]
+    for extra in pending[1:]:
+        reader._buf.extend(encode_frame(extra))
+    return frame
+
+
+def parse_address(
+    address: Union[str, Path],
+) -> Tuple[int, Union[Tuple[str, int], str]]:
+    """A user-facing address string as ``(family, connect/bind arg)``.
+
+    ``host:port`` means TCP (``socket.AF_INET``); anything else is a
+    unix-domain socket path.  Returns the family and the address value
+    ``socket.socket(family).connect/bind`` accepts.
+    """
+    text = str(address)
+    host, sep, port = text.rpartition(":")
+    if sep and port.isdigit() and "/" not in host:
+        return socket.AF_INET, (host or "127.0.0.1", int(port))
+    return socket.AF_UNIX, text

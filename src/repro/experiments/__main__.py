@@ -9,13 +9,20 @@ Examples::
     python -m repro.experiments all --csv-out out/ --no-cache
     python -m repro.experiments list
     python -m repro.experiments inspect <run-id>
+    python -m repro.experiments inspect --list
     python -m repro.experiments sweep --quick \\
         --axis temperature=NORMAL,EXTENDED --axis memory_mb=16,64 \\
         --set stages.rotation=false
+    python -m repro.experiments fig17 --backend cluster --workers 2
+    python -m repro.experiments worker --connect 127.0.0.1:7071
 
 ``list`` prints every registered scenario with its description.
 ``inspect`` reconstructs a finished (or interrupted) run's timeline
-from its journal and span store — see :mod:`repro.obs.inspect`.
+from its journal and span store (``--list`` enumerates every recorded
+run, newest first) — see :mod:`repro.obs.inspect`.
+``worker`` joins a cluster coordinator (``repro run/sweep --backend
+cluster --bind ADDR`` on the scheduling side) and executes its jobs —
+see :mod:`repro.cluster`.
 ``sweep`` runs an ad-hoc, never-registered scenario: each ``--axis``
 adds a sweep dimension (settings fields, config overrides, dotted
 ``stages.<flag>`` keys, ``allocated_fraction`` ...), ``--set`` pins an
@@ -54,6 +61,12 @@ def main(argv=None) -> int:
         from repro.obs.inspect import main as inspect_main
 
         return inspect_main(argv[1:])
+    if argv[:1] == ["worker"]:
+        # `repro worker --connect ADDR`: join a cluster coordinator
+        # and execute its jobs until shutdown.
+        from repro.cluster.worker import main as worker_main
+
+        return worker_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
@@ -90,6 +103,20 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes (default: all cores)")
+    parser.add_argument("--backend", choices=["serial", "pool", "cluster"],
+                        default=None,
+                        help="execution backend (default: serial or pool "
+                             "derived from --jobs); 'cluster' schedules "
+                             "jobs to worker processes over sockets")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="(cluster) fleet size: local workers to "
+                             "spawn, or external workers expected on "
+                             "--bind (default 2)")
+    parser.add_argument("--bind", default=None, metavar="ADDR",
+                        help="(cluster) bind HOST:PORT or a unix socket "
+                             "path and wait for external 'repro worker "
+                             "--connect ADDR' processes instead of "
+                             "spawning local ones")
     parser.add_argument("--resume", metavar="RUN_ID", default=None,
                         help="resume a journaled run: completed jobs "
                              "replay from the cache, only the remainder "
@@ -150,6 +177,9 @@ def main(argv=None) -> int:
     if (args.experiment != "sweep"
             and (args.axis or args.sets or args.benchmarks is not None)):
         parser.error("--axis/--set/--benchmarks only apply to 'sweep'")
+    if args.backend != "cluster" and (args.workers is not None
+                                      or args.bind is not None):
+        parser.error("--workers/--bind require --backend cluster")
 
     if args.experiment == "list":
         from repro.experiments import SCENARIOS
@@ -208,7 +238,9 @@ def main(argv=None) -> int:
     runner = api.make_runner(jobs=jobs, cache=not args.no_cache,
                              cache_dir=args.cache_dir,
                              watchdog=args.watchdog,
-                             timeout_s=args.job_timeout, retry=retry)
+                             timeout_s=args.job_timeout, retry=retry,
+                             backend=args.backend, workers=args.workers,
+                             worker_address=args.bind)
     # Tables/JSON go to stdout; timings, profiles and engine diagnostics
     # go to stderr so repeated runs produce byte-identical result
     # streams — instrumented or not.
@@ -244,6 +276,9 @@ def main(argv=None) -> int:
             if args.csv_out is not None:
                 result.save_csv(args.csv_out / f"{name}.csv")
     finally:
+        # release the backend's machinery (a cluster fleet) before the
+        # summary prints, so worker teardown noise precedes it
+        runner.close()
         if bus is not None:
             bus.close()
 

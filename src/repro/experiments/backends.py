@@ -1,0 +1,317 @@
+"""Execution backends: *how* the engine's cache misses actually run.
+
+The :class:`~repro.experiments.engine.Runner` owns *policy* — cache
+lookups, the journal, retry/backoff bookkeeping, quarantine, span
+minting — and delegates the *mechanics* of running the pending jobs to
+an :class:`ExecutionBackend`:
+
+``serial``
+    In the driving process, one job at a time.  The fallback every
+    other backend degrades to when its machinery breaks.
+``pool``
+    A ``ProcessPoolExecutor`` on this host — the historical ``--jobs N``
+    path, now one backend among peers.
+``cluster``
+    :class:`repro.cluster.backend.ClusterBackend` — N worker processes
+    on this or other hosts, joined over a length-prefixed JSON frame
+    protocol with lease-based heartbeats and requeue-on-loss.
+
+Backends call back into the runner for every bookkeeping decision
+(``_armed_fault``/``_attempt_args`` per submission, ``_complete`` /
+``_note_failure`` / ``_quarantine`` per outcome), which is what keeps
+results, journals, merged metrics and span trees byte-identical across
+backends: the runner makes the same calls in plan order whatever
+vehicle executed the job body.
+
+Every backend funnels the job body itself through one bootstrap,
+:func:`repro.experiments.worker.run_job_in_worker`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, Optional, Tuple
+
+from repro.experiments.worker import run_job_in_worker
+from repro.obs import get_probes
+
+try:  # pragma: no cover - typing nicety only
+    from typing import Protocol
+except ImportError:  # pragma: no cover - python < 3.8
+    Protocol = object  # type: ignore[assignment]
+
+__all__ = [
+    "ExecutionBackend",
+    "PoolBackend",
+    "SerialBackend",
+    "resolve_backend",
+]
+
+BACKEND_NAMES = ("serial", "pool", "cluster")
+"""The backend names the CLI/serve layers accept."""
+
+
+class ExecutionBackend(Protocol):
+    """What the engine needs from an execution vehicle.
+
+    ``execute`` runs every entry of ``pending`` (``key -> SimJob``) to
+    completion or quarantine, reporting outcomes through the runner's
+    bookkeeping methods; it returns nothing.  Backends may keep
+    expensive machinery (pools, sockets, spawned workers) alive across
+    ``execute`` calls — ``close`` releases it.
+    """
+
+    name: str
+
+    def execute(self, runner, settings, pending, results, metrics,
+                timings) -> None:  # pragma: no cover - protocol
+        ...
+
+    def close(self) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class SerialBackend:
+    """Run pending jobs in-process, one at a time, with retry/backoff."""
+
+    name = "serial"
+
+    def execute(self, runner, settings, pending, results, metrics,
+                timings) -> None:
+        for key, job in pending.items():
+            while True:
+                fault = runner._armed_fault(key, in_process=True)
+                wire, attempt = runner._attempt_args(key)
+                try:
+                    result, snapshot, wall_s, worker, spans = (
+                        run_job_in_worker(settings, job, runner.watchdog,
+                                          fault, wire, attempt)
+                    )
+                except Exception as exc:  # noqa: BLE001 - retry boundary
+                    backoff = runner._note_failure(key, job, exc)
+                    if backoff is None:
+                        break
+                    runner._sleep(backoff)
+                    continue
+                runner._complete(key, result, snapshot, wall_s, worker,
+                                 results, metrics, timings, spans)
+                break
+
+    def close(self) -> None:
+        pass
+
+
+class PoolBackend:
+    """Local ``ProcessPoolExecutor`` fan-out with crash attribution.
+
+    A key with a worker-crash on record is a *suspect* and re-runs
+    alone in its own fresh pool, so a repeat crash attributes
+    unambiguously (and collateral victims of a shared pool break
+    exonerate themselves by completing solo).  If the pool keeps dying
+    before any job makes progress, the remainder falls back to
+    in-process execution.
+    """
+
+    name = "pool"
+
+    _POOL_TICK_S = 0.05
+
+    def execute(self, runner, settings, pending, results, metrics,
+                timings) -> None:
+        queue = dict(pending)
+        stalls = 0
+        while queue:
+            suspects = [k for k in queue if runner._crashes.get(k, 0) > 0]
+            batch_keys = suspects[:1] if suspects else list(queue)
+            batch = {k: queue[k] for k in batch_keys}
+            completed, quarantined, progressed = self._run_pool_batch(
+                runner, settings, batch, results, metrics, timings
+            )
+            for key in completed | quarantined:
+                queue.pop(key, None)
+            if progressed:
+                stalls = 0
+                continue
+            stalls += 1
+            if stalls >= 2:
+                # the pool dies before anything runs (environment-level
+                # breakage, not one poisoned job): finish in-process,
+                # where a kill fault degrades to a plain crash
+                SerialBackend().execute(runner, settings, dict(queue),
+                                        results, metrics, timings)
+                return
+
+    def _run_pool_batch(self, runner, settings, batch, results, metrics,
+                        timings) -> Tuple[set, set, bool]:
+        completed: set = set()
+        quarantined: set = set()
+        crash_seen = False
+        workers = min(runner.jobs, len(batch))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        inflight: Dict[object, str] = {}
+        started: Dict[str, float] = {}
+        not_before: Dict[str, float] = {}
+        waiting = list(batch.items())
+        broke = False
+        try:
+            while inflight or waiting:
+                now = runner._clock()
+                if waiting:
+                    still = []
+                    for key, job in waiting:
+                        if not_before.get(key, 0.0) > now:
+                            still.append((key, job))
+                            continue
+                        fault = runner._armed_fault(key, in_process=False)
+                        wire, attempt = runner._attempt_args(key)
+                        try:
+                            fut = pool.submit(run_job_in_worker, settings,
+                                              job, runner.watchdog, fault,
+                                              wire, attempt)
+                        except Exception:  # noqa: BLE001 - pool already dead
+                            runner._tries[key] -= 1
+                            still.append((key, job))
+                            broke = True
+                            break
+                        inflight[fut] = key
+                    waiting = still
+                    if broke:
+                        break
+                if not inflight:
+                    # everything left is backing off
+                    delay = min(not_before.values()) - runner._clock()
+                    runner._sleep(max(delay, 0.001))
+                    continue
+                done, _ = wait(set(inflight), timeout=self._POOL_TICK_S,
+                               return_when=FIRST_COMPLETED)
+                now = runner._clock()
+                for fut, key in inflight.items():
+                    if fut not in done and key not in started and fut.running():
+                        started[key] = now
+                broken_keys = set()
+                for fut in done:
+                    key = inflight.pop(fut)
+                    started.pop(key, None)
+                    try:
+                        result, snapshot, wall_s, worker, spans = fut.result()
+                    except BrokenProcessPool:
+                        broken_keys.add(key)
+                        continue
+                    except Exception as exc:  # noqa: BLE001 - retry boundary
+                        backoff = runner._note_failure(key, batch[key], exc)
+                        if backoff is None:
+                            quarantined.add(key)
+                        else:
+                            not_before[key] = runner._clock() + backoff
+                            waiting.append((key, batch[key]))
+                        continue
+                    runner._complete(key, result, snapshot, wall_s, worker,
+                                     results, metrics, timings, spans)
+                    completed.add(key)
+                if broken_keys:
+                    # the pool is dead; every job it still held shared
+                    # its fate — each takes a crash on its record and
+                    # re-runs alone (see execute)
+                    broke = True
+                    crash_seen = True
+                    victims = broken_keys | set(inflight.values())
+                    inflight.clear()
+                    runner.stats.worker_crashes += 1
+                    get_probes().count("engine.worker_crashes")
+                    for key in victims:
+                        runner._record_failed_attempt(
+                            key, "worker process crashed")
+                        crashes = runner._crashes[key] = (
+                            runner._crashes.get(key, 0) + 1
+                        )
+                        if crashes >= runner.retry.max_worker_crashes:
+                            runner._quarantine(
+                                key, batch[key],
+                                error=(f"worker process crashed {crashes}x "
+                                       f"running this job"),
+                            )
+                            quarantined.add(key)
+                    break
+                if runner.timeout_s is not None:
+                    overdue = [k for k, t0 in started.items()
+                               if now - t0 > runner.timeout_s]
+                    if overdue:
+                        key = overdue[0]
+                        runner.stats.timeouts += 1
+                        get_probes().count("engine.job_timeouts")
+                        exc = TimeoutError(
+                            f"job exceeded per-job timeout of "
+                            f"{runner.timeout_s}s"
+                        )
+                        backoff = runner._note_failure(key, batch[key], exc)
+                        if backoff is None:
+                            quarantined.add(key)
+                        # the stuck worker cannot be reclaimed; recycle
+                        # the pool (innocent in-flight jobs re-run in
+                        # the next batch)
+                        broke = True
+                        break
+        finally:
+            if broke:
+                self._kill_pool(pool)
+            else:
+                pool.shutdown(wait=True)
+        progressed = bool(completed or quarantined or crash_seen)
+        return completed, quarantined, progressed
+
+    @staticmethod
+    def _kill_pool(pool) -> None:
+        """Tear down a broken/stuck pool without waiting on its workers."""
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except Exception:  # noqa: BLE001 - already dead
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except TypeError:  # pragma: no cover - python < 3.9
+            pool.shutdown(wait=False)
+
+    def close(self) -> None:
+        # pools are per-execute (crash attribution rebuilds them), so
+        # there is nothing long-lived to release
+        pass
+
+
+def resolve_backend(
+    backend=None,
+    *,
+    workers: Optional[int] = None,
+    worker_address: Optional[str] = None,
+):
+    """Turn a backend name (or ready instance) into an instance.
+
+    ``None`` returns ``None`` — the runner then picks serial or pool
+    per pending batch, the historical ``jobs``-driven behaviour.  The
+    ``cluster`` name imports lazily so plain runs never pay for the
+    socket machinery.  ``workers``/``worker_address`` only apply to
+    ``cluster`` (how many local workers to spawn, or the address to
+    bind and wait for ``repro worker --connect`` peers on).
+    """
+    if backend is None:
+        if workers is not None or worker_address is not None:
+            raise ValueError(
+                "workers/worker_address need backend='cluster'"
+            )
+        return None
+    if not isinstance(backend, str):
+        return backend
+    if backend == "cluster":
+        from repro.cluster.backend import ClusterBackend
+
+        return ClusterBackend(workers=workers, address=worker_address)
+    if workers is not None or worker_address is not None:
+        raise ValueError("workers/worker_address need backend='cluster'")
+    if backend == "serial":
+        return SerialBackend()
+    if backend == "pool":
+        return PoolBackend()
+    raise ValueError(
+        f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}"
+    )

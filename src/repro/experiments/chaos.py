@@ -1,6 +1,6 @@
 """Chaos smoke driver: prove the run lifecycle survives induced faults.
 
-Three phases, each a small ``fig17`` run at micro scale, exercising the
+Four phases, each a small ``fig17`` run at micro scale, exercising the
 fault-tolerance machinery end to end through the public
 :class:`~repro.experiments.lifecycle.RunRequest` API:
 
@@ -12,6 +12,11 @@ B. **quarantine** — a job that kills its worker on every attempt; the
 C. **resume** — re-run phase B's journaled run id with the fault gone;
    the journal must replay the completed jobs and the final result must
    be byte-identical to an undisturbed run in a pristine cache.
+D. **cluster worker death** — SIGKILL a live ``--backend cluster``
+   worker mid-job via a kill fault; the coordinator must detect the
+   lost lease, requeue the orphaned job onto a surviving worker, and
+   the result must be byte-identical to a serial run in a pristine
+   cache.
 
 Run it as ``python -m repro.experiments.chaos --report chaos_report.json``;
 CI's chaos-smoke job uploads the JSON report as an artifact.  Exit
@@ -83,7 +88,8 @@ class ChaosReport:
 
 def _run(cache_dir: Path, *, jobs: Optional[int] = None,
          faults: Optional[FaultPlan] = None, resume: Optional[str] = None,
-         probes: Optional[ProbeBus] = None):
+         probes: Optional[ProbeBus] = None, backend: Optional[str] = None,
+         workers: Optional[int] = None):
     """One lifecycle execution; returns ``(result, runner)``."""
     request = RunRequest(
         experiment_id=EXPERIMENT_ID,
@@ -95,12 +101,18 @@ def _run(cache_dir: Path, *, jobs: Optional[int] = None,
         retry=RETRY,
         faults=faults,
         resume=resume,
+        backend=backend,
+        workers=workers,
         # flush the span store per record: a crashed run must still
         # leave an inspectable trace behind (checked in phase B)
         span_flush_every=1,
     )
     runner = runner_for(request)
-    result = execute(request, runner=runner)
+    try:
+        result = execute(request, runner=runner)
+    except BaseException:
+        runner.close()
+        raise
     return result, runner
 
 
@@ -185,6 +197,30 @@ def phase_c_resume(report: ChaosReport, root: Path,
                  result.to_json() == reference.to_json())
 
 
+def phase_d_cluster(report: ChaosReport, root: Path) -> None:
+    """SIGKILL a live cluster worker mid-job; the coordinator requeues
+    the orphaned job onto a surviving worker and the final result is
+    still byte-identical to a serial run in a pristine cache."""
+    faults = FaultPlan((FaultSpec(job_index=1, kind="kill", times=1),))
+    result, runner = _run(root / "phase-d", backend="cluster", workers=2,
+                          faults=faults)
+    try:
+        report.check("D", "cluster run completed all jobs",
+                     not runner.failures,
+                     f"failures={len(runner.failures)}")
+        report.check("D", "result is not a partial-failure report",
+                     "PARTIAL FAILURE" not in result.title, result.title)
+        report.check("D", "worker death observed mid-run",
+                     runner.stats.worker_crashes >= 1,
+                     f"worker_crashes={runner.stats.worker_crashes}")
+    finally:
+        runner.close()
+
+    reference, _ = _run(root / "phase-d-reference", jobs=1)
+    report.check("D", "cluster result byte-identical to serial run",
+                 result.to_json() == reference.to_json())
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.chaos",
@@ -223,6 +259,10 @@ def main(argv=None) -> int:
             phase_c_resume(report, root, run_id)
         except Exception as exc:  # noqa: BLE001
             report.error("C", exc)
+        try:
+            phase_d_cluster(report, root)
+        except Exception as exc:  # noqa: BLE001
+            report.error("D", exc)
     finally:
         doc = report.to_dict()
         doc["elapsed_s"] = round(time.monotonic() - start, 3)

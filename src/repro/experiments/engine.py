@@ -65,25 +65,21 @@ import importlib
 import os
 import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
-from contextlib import nullcontext
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.experiments import faults as faults_mod
 from repro.experiments import journal as journal_mod
+from repro.experiments.backends import (
+    PoolBackend,
+    SerialBackend,
+    resolve_backend,
+)
 from repro.experiments.cache import ResultCache, stable_digest
 from repro.experiments.faults import FaultPlan
 from repro.experiments.runner import ExperimentResult, ExperimentSettings
-from repro.obs import (
-    ProbeBus,
-    empty_snapshot,
-    get_probes,
-    merge_snapshots,
-    use_probes,
-)
-from repro.obs.invariants import InvariantWatchdog, use_watchdog
+from repro.experiments.worker import captured_call
+from repro.obs import empty_snapshot, get_probes, merge_snapshots
 from repro.obs.probes import JsonlTraceSink
 from repro.obs.spans import (
     SpanContext,
@@ -91,7 +87,6 @@ from repro.obs.spans import (
     root_context,
     span_path,
     trace_id_for_run,
-    use_tracer,
 )
 
 SIMULATE = "repro.experiments.runner:simulate_benchmark"
@@ -182,67 +177,6 @@ def execute_job(settings: ExperimentSettings, job: SimJob):
             job.seed_offset,
         )
     return fn(settings, job)
-
-
-def _captured_call(fn: Callable[[], object], watchdog: bool = False):
-    """Run ``fn`` under a scoped probe bus; return ``(result, snapshot)``.
-
-    With an ambient bus installed the scoped bus is a fork of it, so
-    trace events still stream to the live sink while counters,
-    histograms, gauges and phase times accumulate separately for the
-    per-job snapshot.  In pool workers (no ambient bus) a fresh bus
-    captures the same metrics, which is what makes fan-out transparent
-    to the metrics manifest.  ``watchdog=True`` also installs a fresh
-    :class:`InvariantWatchdog` and attaches its findings to the
-    snapshot.
-    """
-    ambient = get_probes()
-    bus = ambient.fork() if ambient.enabled else ProbeBus()
-    watch_ctx = use_watchdog(InvariantWatchdog()) if watchdog else nullcontext()
-    with watch_ctx as wd, use_probes(bus):
-        result = fn()
-    snapshot = bus.snapshot()
-    if wd is not None:
-        snapshot["invariants"] = wd.snapshot()
-    return result, snapshot
-
-
-def _timed_execute(settings: ExperimentSettings, job: SimJob,
-                   watchdog: bool = False, fault=None,
-                   span_wire: Optional[dict] = None, attempt: int = 1):
-    """Worker entry point: result, snapshot, wall time, pid, spans.
-
-    An armed :class:`~repro.experiments.faults.FaultSpec` fires *before*
-    the probe-scoped job body, so injected faults never contaminate the
-    job's metrics snapshot (which is cached and must stay identical to
-    a fault-free execution's).
-
-    ``span_wire`` is the runner's job-span :class:`SpanContext` in wire
-    form: the worker opens an ``attempt`` span under it (qualified by
-    the attempt number so retries get distinct, deterministic ids) and
-    installs an ambient tracer so kernel phases nest underneath.  Spans
-    ship back only on success — a failed attempt's records are
-    discarded here and the runner fabricates the failed-attempt span
-    instead, which keeps ``--jobs 1`` and ``--jobs N`` trees identical.
-    """
-    if fault is not None:
-        faults_mod.apply_worker_fault(fault)
-    start = time.perf_counter()
-    if span_wire is None:
-        result, snapshot = _captured_call(
-            lambda: execute_job(settings, job), watchdog
-        )
-        return result, snapshot, time.perf_counter() - start, os.getpid(), []
-    parent = SpanContext.from_wire(span_wire)
-    tracer = SpanTracer(parent.trace_id)
-    with use_tracer(tracer):
-        with tracer.span("attempt", parent=parent, qualifier=str(attempt),
-                         pid=os.getpid()):
-            result, snapshot = _captured_call(
-                lambda: execute_job(settings, job), watchdog
-            )
-    return (result, snapshot, time.perf_counter() - start, os.getpid(),
-            tracer.records)
 
 
 def _pack_cached(result, snapshot) -> dict:
@@ -369,13 +303,17 @@ class Runner:
         Flush the on-disk span store after every N records so spans
         survive a crash (``None`` buffers until close; the chaos
         driver and kill→resume tests arm ``1``).
+    backend:
+        An :class:`~repro.experiments.backends.ExecutionBackend` name
+        (``"serial"`` | ``"pool"`` | ``"cluster"``) or instance.
+        ``None`` (the default) picks serial or pool per pending batch
+        from ``jobs`` — the historical behaviour.  Long-lived backends
+        (cluster workers, sockets) are released by :meth:`close`.
     clock / sleep:
         Injectable time sources for the retry/backoff machinery
         (tests pass fakes; production uses ``time.monotonic`` /
         ``time.sleep``).
     """
-
-    _POOL_TICK_S = 0.05
 
     def __init__(
         self,
@@ -388,12 +326,14 @@ class Runner:
         faults: Optional[FaultPlan] = None,
         journal: bool = True,
         span_flush_every: Optional[int] = None,
+        backend=None,
         clock: Optional[Callable[[], float]] = None,
         sleep: Optional[Callable[[float], None]] = None,
     ):
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.cache = cache
         self.watchdog = watchdog
+        self.backend = resolve_backend(backend)
         self.timeout_s = timeout_s
         self.retry = retry if retry is not None else RetryPolicy()
         self.faults = faults if faults else None
@@ -695,7 +635,7 @@ class Runner:
         return [results.get(key) for key in keys]
 
     # ------------------------------------------------------------------
-    # execution: serial and pool paths share the retry bookkeeping
+    # execution: every backend shares the retry bookkeeping below
     # ------------------------------------------------------------------
     def _execute_pending(
         self,
@@ -704,200 +644,27 @@ class Runner:
         results: Dict[str, object],
         metrics: Dict[str, Optional[dict]],
     ) -> Dict[str, tuple]:
-        """Run the cache misses, serially or over a process pool."""
+        """Run the cache misses through the configured backend.
+
+        With no explicit backend, a pending batch of more than one job
+        fans out over a process pool when ``jobs > 1``; otherwise it
+        runs serially in-process — the historical behaviour, now two
+        named backends.
+        """
         timings: Dict[str, tuple] = {}
         if not pending:
             return timings
-        if self.jobs > 1 and len(pending) > 1:
-            self._execute_pool(settings, pending, results, metrics, timings)
-        else:
-            self._execute_serial(settings, pending, results, metrics, timings)
+        backend = self.backend
+        if backend is None:
+            backend = (PoolBackend() if self.jobs > 1 and len(pending) > 1
+                       else SerialBackend())
+        backend.execute(self, settings, pending, results, metrics, timings)
         return timings
 
-    def _execute_serial(self, settings, pending, results, metrics,
-                        timings) -> None:
-        for key, job in pending.items():
-            while True:
-                fault = self._armed_fault(key, in_process=True)
-                wire, attempt = self._attempt_args(key)
-                try:
-                    result, snapshot, wall_s, worker, spans = _timed_execute(
-                        settings, job, self.watchdog, fault, wire, attempt
-                    )
-                except Exception as exc:  # noqa: BLE001 - retry boundary
-                    backoff = self._note_failure(key, job, exc)
-                    if backoff is None:
-                        break
-                    self._sleep(backoff)
-                    continue
-                self._complete(key, result, snapshot, wall_s, worker,
-                               results, metrics, timings, spans)
-                break
-
-    def _execute_pool(self, settings, pending, results, metrics,
-                      timings) -> None:
-        """Pool scheduler: batches, crash attribution, quarantine.
-
-        A key with a worker-crash on record is a *suspect* and re-runs
-        alone in its own fresh pool, so a repeat crash attributes
-        unambiguously (and collateral victims of a shared pool break
-        exonerate themselves by completing solo).  If the pool keeps
-        dying before any job makes progress, the remainder falls back
-        to in-process execution.
-        """
-        queue = dict(pending)
-        stalls = 0
-        while queue:
-            suspects = [k for k in queue if self._crashes.get(k, 0) > 0]
-            batch_keys = suspects[:1] if suspects else list(queue)
-            batch = {k: queue[k] for k in batch_keys}
-            completed, quarantined, progressed = self._run_pool_batch(
-                settings, batch, results, metrics, timings
-            )
-            for key in completed | quarantined:
-                queue.pop(key, None)
-            if progressed:
-                stalls = 0
-                continue
-            stalls += 1
-            if stalls >= 2:
-                # the pool dies before anything runs (environment-level
-                # breakage, not one poisoned job): finish in-process,
-                # where a kill fault degrades to a plain crash
-                self._execute_serial(settings, dict(queue), results,
-                                     metrics, timings)
-                return
-
-    def _run_pool_batch(self, settings, batch, results, metrics,
-                        timings) -> Tuple[set, set, bool]:
-        completed: set = set()
-        quarantined: set = set()
-        crash_seen = False
-        workers = min(self.jobs, len(batch))
-        pool = ProcessPoolExecutor(max_workers=workers)
-        inflight: Dict[object, str] = {}
-        started: Dict[str, float] = {}
-        not_before: Dict[str, float] = {}
-        waiting = list(batch.items())
-        broke = False
-        try:
-            while inflight or waiting:
-                now = self._clock()
-                if waiting:
-                    still = []
-                    for key, job in waiting:
-                        if not_before.get(key, 0.0) > now:
-                            still.append((key, job))
-                            continue
-                        fault = self._armed_fault(key, in_process=False)
-                        wire, attempt = self._attempt_args(key)
-                        try:
-                            fut = pool.submit(_timed_execute, settings, job,
-                                              self.watchdog, fault, wire,
-                                              attempt)
-                        except Exception:  # noqa: BLE001 - pool already dead
-                            self._tries[key] -= 1
-                            still.append((key, job))
-                            broke = True
-                            break
-                        inflight[fut] = key
-                    waiting = still
-                    if broke:
-                        break
-                if not inflight:
-                    # everything left is backing off
-                    delay = min(not_before.values()) - self._clock()
-                    self._sleep(max(delay, 0.001))
-                    continue
-                done, _ = wait(set(inflight), timeout=self._POOL_TICK_S,
-                               return_when=FIRST_COMPLETED)
-                now = self._clock()
-                for fut, key in inflight.items():
-                    if fut not in done and key not in started and fut.running():
-                        started[key] = now
-                broken_keys = set()
-                for fut in done:
-                    key = inflight.pop(fut)
-                    started.pop(key, None)
-                    try:
-                        result, snapshot, wall_s, worker, spans = fut.result()
-                    except BrokenProcessPool:
-                        broken_keys.add(key)
-                        continue
-                    except Exception as exc:  # noqa: BLE001 - retry boundary
-                        backoff = self._note_failure(key, batch[key], exc)
-                        if backoff is None:
-                            quarantined.add(key)
-                        else:
-                            not_before[key] = self._clock() + backoff
-                            waiting.append((key, batch[key]))
-                        continue
-                    self._complete(key, result, snapshot, wall_s, worker,
-                                   results, metrics, timings, spans)
-                    completed.add(key)
-                if broken_keys:
-                    # the pool is dead; every job it still held shared
-                    # its fate — each takes a crash on its record and
-                    # re-runs alone (see _execute_pool)
-                    broke = True
-                    crash_seen = True
-                    victims = broken_keys | set(inflight.values())
-                    inflight.clear()
-                    self.stats.worker_crashes += 1
-                    get_probes().count("engine.worker_crashes")
-                    for key in victims:
-                        self._record_failed_attempt(
-                            key, "worker process crashed")
-                        crashes = self._crashes[key] = (
-                            self._crashes.get(key, 0) + 1
-                        )
-                        if crashes >= self.retry.max_worker_crashes:
-                            self._quarantine(
-                                key, batch[key],
-                                error=(f"worker process crashed {crashes}x "
-                                       f"running this job"),
-                            )
-                            quarantined.add(key)
-                    break
-                if self.timeout_s is not None:
-                    overdue = [k for k, t0 in started.items()
-                               if now - t0 > self.timeout_s]
-                    if overdue:
-                        key = overdue[0]
-                        self.stats.timeouts += 1
-                        get_probes().count("engine.job_timeouts")
-                        exc = TimeoutError(
-                            f"job exceeded per-job timeout of "
-                            f"{self.timeout_s}s"
-                        )
-                        backoff = self._note_failure(key, batch[key], exc)
-                        if backoff is None:
-                            quarantined.add(key)
-                        # the stuck worker cannot be reclaimed; recycle
-                        # the pool (innocent in-flight jobs re-run in
-                        # the next batch)
-                        broke = True
-                        break
-        finally:
-            if broke:
-                self._kill_pool(pool)
-            else:
-                pool.shutdown(wait=True)
-        progressed = bool(completed or quarantined or crash_seen)
-        return completed, quarantined, progressed
-
-    @staticmethod
-    def _kill_pool(pool) -> None:
-        """Tear down a broken/stuck pool without waiting on its workers."""
-        for proc in list(getattr(pool, "_processes", {}).values()):
-            try:
-                proc.terminate()
-            except Exception:  # noqa: BLE001 - already dead
-                pass
-        try:
-            pool.shutdown(wait=False, cancel_futures=True)
-        except TypeError:  # pragma: no cover - python < 3.9
-            pool.shutdown(wait=False)
+    def close(self) -> None:
+        """Release the backend's long-lived machinery (workers, sockets)."""
+        if self.backend is not None:
+            self.backend.close()
 
     # ------------------------------------------------------------------
     # retry / fault bookkeeping
@@ -1112,7 +879,7 @@ class Runner:
             return result
         start = time.perf_counter()
         t0_wall = time.time()
-        result, snapshot = _captured_call(
+        result, snapshot = captured_call(
             lambda: experiment.legacy_run(settings), self.watchdog
         )
         wall_s = time.perf_counter() - start
@@ -1228,6 +995,8 @@ class ExperimentRequest:
     timeout_s: Optional[float] = None
     max_attempts: Optional[int] = None
     spec: Optional[Dict[str, object]] = None
+    backend: Optional[str] = None
+    workers: Optional[int] = None
 
 
 def _request_spec(request: ExperimentRequest):
@@ -1315,10 +1084,15 @@ def execute_request(request: ExperimentRequest) -> dict:
         timeout_s=request.timeout_s,
         retry=retry,
         resume=request.resume,
+        backend=request.backend,
+        workers=request.workers,
     )
     runner = runner_for(run_request)
     start = time.perf_counter()
-    result = execute(run_request, runner=runner)
+    try:
+        result = execute(run_request, runner=runner)
+    finally:
+        runner.close()
     return {
         "experiment_id": _request_id(request),
         "digest": request_digest(request),

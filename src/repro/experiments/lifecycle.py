@@ -102,6 +102,21 @@ class RunRequest:
         Flush the run's span store every N records so the trace
         survives a crash (``None``: buffer until close; the chaos
         driver arms ``1``).
+    backend:
+        Execution backend name — ``"serial"``, ``"pool"`` or
+        ``"cluster"`` — or a ready
+        :class:`~repro.experiments.backends.ExecutionBackend`.
+        ``None`` (default) derives serial/pool from ``jobs``.  A
+        cluster run spawns ``workers`` local worker processes, or
+        binds ``worker_address`` and waits for external
+        ``repro worker --connect`` processes to join.  Everything
+        else on this request — resume, retry, quarantine, faults,
+        journal — behaves identically across backends.
+    workers:
+        Cluster fleet size (``backend="cluster"`` only; default 2).
+    worker_address:
+        Address to bind for external workers (``HOST:PORT`` or a unix
+        socket path); ``None`` spawns the fleet locally.
     """
 
     experiment_id: Optional[str] = None
@@ -119,6 +134,9 @@ class RunRequest:
     faults: Optional[FaultPlan] = None
     journal: bool = True
     span_flush_every: Optional[int] = None
+    backend: Optional[object] = None
+    workers: Optional[int] = None
+    worker_address: Optional[str] = None
 
 
 def resolve_jobs(jobs: Optional[int], probes) -> Optional[int]:
@@ -154,13 +172,20 @@ def build_runner(
     faults: Optional[FaultPlan] = None,
     journal: bool = True,
     span_flush_every: Optional[int] = None,
+    backend=None,
+    workers: Optional[int] = None,
+    worker_address: Optional[str] = None,
 ) -> Runner:
     """Assemble a :class:`Runner` from policy knobs.
 
     The single runner-construction recipe shared by ``repro.api``
     (``make_runner``, ``run_experiment``, ``run_all``), the CLI and
-    the serving layer.
+    the serving layer.  A runner whose backend holds long-lived
+    machinery (a cluster fleet) should be released with
+    ``Runner.close()`` when the caller is done with it.
     """
+    from repro.experiments.backends import resolve_backend
+
     if isinstance(cache, ResultCache):
         store = cache
     elif cache:
@@ -176,6 +201,8 @@ def build_runner(
         faults=faults,
         journal=journal,
         span_flush_every=span_flush_every,
+        backend=resolve_backend(backend, workers=workers,
+                                worker_address=worker_address),
     )
 
 
@@ -191,6 +218,9 @@ def runner_for(request: RunRequest) -> Runner:
         faults=request.faults,
         journal=request.journal,
         span_flush_every=request.span_flush_every,
+        backend=request.backend,
+        workers=request.workers,
+        worker_address=request.worker_address,
     )
 
 

@@ -192,6 +192,69 @@ def inspect_run(cache_root: Union[str, Path], run_id: str) -> dict:
     }
 
 
+def list_runs(cache_root: Union[str, Path]) -> List[dict]:
+    """Every run id with recorded artifacts, newest first.
+
+    A run is listed when it left a journal, a span store, or both
+    under ``cache_root``; the state column comes from the run span
+    when one exists (``finished`` / ``partial-failure`` / ...) and
+    falls back to ``interrupted`` for runs that never closed one.
+    """
+    from repro.experiments import journal as journal_mod
+    from repro.obs.spans import dedupe_spans, read_spans, span_path, spans_dir
+
+    cache_root = Path(cache_root)
+    stamps: dict = {}
+    for directory in (journal_mod.journal_dir(cache_root),
+                      spans_dir(cache_root)):
+        if not directory.is_dir():
+            continue
+        for path in directory.glob("*.jsonl"):
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue
+            stamps[path.stem] = max(mtime, stamps.get(path.stem, 0.0))
+
+    rows: List[dict] = []
+    for run_id, mtime in sorted(stamps.items(),
+                                key=lambda kv: (-kv[1], kv[0])):
+        state = journal_mod.load_state(cache_root, run_id)
+        spans = dedupe_spans(read_spans(span_path(cache_root, run_id)))
+        run_span = next((s for s in spans if s.get("name") == "run"), None)
+        if run_span is not None:
+            status = run_span.get("status", "ok")
+            run_state = "finished" if status == "ok" else status
+        else:
+            run_state = "interrupted"
+        rows.append({
+            "run_id": run_id,
+            "state": run_state,
+            "experiment_id": (state.experiment_id if state
+                              else (run_span or {}).get("experiment_id")),
+            "done": len(state.done) if state else None,
+            "failed": len(state.failed) if state else None,
+            "mtime": mtime,
+        })
+    return rows
+
+
+def render_run_list(rows: List[dict]) -> str:
+    """The human-readable ``repro inspect --list`` table."""
+    if not rows:
+        return "no recorded runs"
+    lines = [f"{'run id':<28} {'state':<16} {'experiment':<10} "
+             f"{'done':>5} {'failed':>6}"]
+    for row in rows:
+        done = "?" if row["done"] is None else row["done"]
+        failed = "?" if row["failed"] is None else row["failed"]
+        lines.append(
+            f"{row['run_id']:<28} {row['state']:<16} "
+            f"{row.get('experiment_id') or '-':<10} "
+            f"{done:>5} {failed:>6}")
+    return "\n".join(lines)
+
+
 def render_report(doc: dict) -> str:
     """The human-readable ``repro inspect`` view of one run document."""
     lines = []
@@ -268,8 +331,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Reconstruct a run's timeline from its journal, "
                     "span store and cached metrics.",
     )
-    parser.add_argument("run_id", help="run id (the resume token printed "
-                                       "on stderr / X-Repro-Run-Id)")
+    parser.add_argument("run_id", nargs="?", default=None,
+                        help="run id (the resume token printed "
+                             "on stderr / X-Repro-Run-Id)")
+    parser.add_argument("--list", action="store_true", dest="list_runs",
+                        help="enumerate recorded runs, newest first")
     parser.add_argument("--cache-dir", default=None,
                         help="cache root (default: $REPRO_CACHE_DIR or "
                              ".repro-cache)")
@@ -281,6 +347,21 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     cache_root = (Path(args.cache_dir) if args.cache_dir
                   else default_cache_dir())
+    if args.list_runs:
+        if args.run_id is not None:
+            parser.error("--list takes no run id")
+        rows = list_runs(cache_root)
+        try:
+            if args.json:
+                print(json.dumps(rows, sort_keys=True, indent=2))
+            else:
+                print(render_run_list(rows))
+            sys.stdout.flush()
+        except BrokenPipeError:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    if args.run_id is None:
+        parser.error("give a run id, or --list to enumerate runs")
     try:
         doc = inspect_run(cache_root, args.run_id)
     except UnknownRunError:

@@ -48,6 +48,16 @@ def main(argv=None) -> int:
     parser.add_argument("--rows", type=int, default=4096,
                         help="codec cell-type table size (valid row_index "
                              "range of /v1/transform)")
+    parser.add_argument("--experiment-backend",
+                        choices=["serial", "pool", "cluster"], default=None,
+                        help="execution backend for offloaded experiment "
+                             "runs (default: derived from jobs=1); "
+                             "'cluster' schedules each run's jobs over "
+                             "--experiment-workers cluster workers")
+    parser.add_argument("--experiment-workers", type=int, default=None,
+                        metavar="N",
+                        help="(with --experiment-backend cluster) cluster "
+                             "fleet size per offloaded run (default 2)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the engine result cache")
     parser.add_argument("--cache-dir", type=Path, default=None,
@@ -75,6 +85,8 @@ def main(argv=None) -> int:
         use_cache=not args.no_cache,
         cache_dir=str(args.cache_dir) if args.cache_dir else None,
         drain_grace_s=args.drain_grace,
+        experiment_backend=args.experiment_backend,
+        experiment_workers=args.experiment_workers,
     )
     server = asyncio.run(serve(config))
     if args.metrics_json is not None:

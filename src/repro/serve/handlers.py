@@ -153,6 +153,8 @@ def parse_experiment_request(server, experiment_id: str,
         cache_dir=server.config.cache_dir,
         jobs=1,
         resume=resume,
+        backend=server.config.experiment_backend,
+        workers=server.config.experiment_workers,
     )
 
 
@@ -212,6 +214,8 @@ def parse_sweep_request(server, request: HttpRequest):
         cache_dir=server.config.cache_dir,
         jobs=1,
         resume=resume,
+        backend=server.config.experiment_backend,
+        workers=server.config.experiment_workers,
     )
 
 

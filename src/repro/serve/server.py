@@ -96,6 +96,11 @@ class ServeConfig:
     workers: int = 2
     use_cache: bool = True
     cache_dir: Optional[str] = None
+    # Execution backend the offloaded engine run uses inside its
+    # worker process ("serial" | "pool" | "cluster"); cluster runs
+    # spawn `experiment_workers` cluster workers per request.
+    experiment_backend: Optional[str] = None
+    experiment_workers: Optional[int] = None
 
 
 class ReproServer:

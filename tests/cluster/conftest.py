@@ -1,0 +1,15 @@
+"""Cluster-test fixtures.
+
+Same cache isolation as the experiment tests: spawned workers inherit
+``REPRO_CACHE_DIR`` via the environment, so pointing it at a per-test
+temp dir keeps worker processes from writing into the working tree.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache_dir(tmp_path, monkeypatch):
+    cache_dir = tmp_path / "repro-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    return cache_dir

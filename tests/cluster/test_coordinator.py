@@ -1,0 +1,195 @@
+"""Coordinator behaviour against a scripted in-test worker.
+
+No real simulation here: a plain socket client plays the worker role,
+which makes join/lease/loss timing fully deterministic — the lease
+clock is injected, so expiry is a variable assignment, not a sleep.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.cluster.coordinator import Coordinator
+from repro.cluster.protocol import FrameReader, recv_frame, send_frame
+from repro.obs import ProbeBus, use_probes
+
+
+class FakeWorker:
+    """The worker side of the handshake, driven explicitly by a test."""
+
+    def __init__(self, address, pid=999):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.connect(address)
+        self.reader = FrameReader()
+        send_frame(self.sock, {"type": "hello", "pid": pid, "host": "test"})
+
+    def recv(self):
+        return recv_frame(self.sock, self.reader)
+
+    def send(self, frame):
+        send_frame(self.sock, frame)
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+@pytest.fixture
+def clock():
+    state = {"now": 0.0}
+
+    def read():
+        return state["now"]
+
+    read.advance = lambda dt: state.__setitem__("now", state["now"] + dt)
+    return read
+
+
+@pytest.fixture
+def coordinator(tmp_path, clock):
+    coord = Coordinator(str(tmp_path / "c.sock"), heartbeat_s=0.2,
+                        clock=clock)
+    coord.start()
+    yield coord
+    coord.close()
+
+
+def pump(coordinator, *, until=None, tries=50):
+    """Poll until a predicate on the accumulated events holds."""
+    events = []
+    for _ in range(tries):
+        events.extend(coordinator.poll(0.05))
+        if until is None or until(events):
+            return events
+    raise AssertionError(f"condition never held; events={events}")
+
+
+class TestHandshake:
+    def test_worker_joins_and_goes_idle(self, coordinator):
+        worker = FakeWorker(coordinator.address)
+        events = pump(coordinator, until=lambda e: e)
+        (kind, worker_id) = events[0]
+        assert kind == "joined"
+        welcome = worker.recv()
+        assert welcome["type"] == "welcome"
+        assert welcome["worker_id"] == worker_id
+        assert welcome["heartbeat_s"] == pytest.approx(0.2)
+        assert coordinator.idle_workers() == [worker_id]
+        assert coordinator.worker_count() == 1
+        worker.close()
+
+    def test_unjoined_disconnect_emits_no_lost_event(self, coordinator):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(coordinator.address)
+        sock.close()
+        for _ in range(10):
+            events = coordinator.poll(0.02)
+            assert all(e[0] != "lost" for e in events)
+        assert coordinator.worker_count() == 0
+
+
+class TestLeases:
+    def _join(self, coordinator):
+        worker = FakeWorker(coordinator.address)
+        events = pump(coordinator, until=lambda e: e)
+        worker.recv()  # welcome
+        return worker, events[0][1]
+
+    def test_result_round_trip(self, coordinator):
+        worker, worker_id = self._join(coordinator)
+        assert coordinator.send_job(
+            worker_id, {"type": "job", "task": "t1"})
+        assert coordinator.idle_workers() == []  # leased
+        job = worker.recv()
+        assert job == {"type": "job", "task": "t1"}
+        worker.send({"type": "result", "task": "t1", "payload": "p"})
+        events = pump(coordinator, until=lambda e: any(
+            ev[0] == "result" for ev in e))
+        (_, wid, task, frame) = [e for e in events
+                                 if e[0] == "result"][0]
+        assert (wid, task) == (worker_id, "t1")
+        assert frame["payload"] == "p"
+        assert coordinator.idle_workers() == [worker_id]
+        worker.close()
+
+    def test_error_frame_keeps_the_worker(self, coordinator):
+        worker, worker_id = self._join(coordinator)
+        coordinator.send_job(worker_id, {"type": "job", "task": "t2"})
+        worker.recv()
+        worker.send({"type": "error", "task": "t2",
+                     "error_type": "ValueError", "error": "boom"})
+        events = pump(coordinator, until=lambda e: any(
+            ev[0] == "error" for ev in e))
+        (_, wid, task, error_type, message) = [
+            e for e in events if e[0] == "error"][0]
+        assert (wid, task) == (worker_id, "t2")
+        assert (error_type, message) == ("ValueError", "boom")
+        assert coordinator.worker_count() == 1
+
+    def test_eof_mid_task_surfaces_lost_with_the_task(self, coordinator):
+        bus = ProbeBus()
+        with use_probes(bus):
+            worker, worker_id = self._join(coordinator)
+            coordinator.send_job(worker_id, {"type": "job", "task": "t3"})
+            worker.recv()
+            worker.close()  # SIGKILL as seen from the socket
+            events = pump(coordinator, until=lambda e: any(
+                ev[0] == "lost" for ev in e))
+        assert ("lost", worker_id, "t3") in events
+        assert coordinator.worker_count() == 0
+        assert bus.snapshot()["counters"]["cluster.worker_lost"] == 1
+
+    def test_silent_worker_loses_its_lease(self, coordinator, clock):
+        bus = ProbeBus()
+        with use_probes(bus):
+            worker, worker_id = self._join(coordinator)
+            coordinator.send_job(worker_id, {"type": "job", "task": "t4"})
+            worker.recv()
+            # no heartbeat, no result: cross the lease horizon
+            clock.advance(coordinator.lease_timeout_s + 0.1)
+            events = pump(coordinator, until=lambda e: any(
+                ev[0] == "lost" for ev in e))
+        assert ("lost", worker_id, "t4") in events
+        counters = bus.snapshot()["counters"]
+        assert counters["cluster.lease_expiries"] == 1
+        assert counters["cluster.worker_lost"] == 1
+        worker.close()
+
+    def test_heartbeat_renews_the_lease(self, coordinator, clock):
+        worker, worker_id = self._join(coordinator)
+        handle = coordinator._workers[worker_id]
+        for _ in range(3):
+            clock.advance(coordinator.lease_timeout_s * 0.9)
+            beat_before = handle.last_beat
+            worker.send({"type": "heartbeat"})
+            deadline = time.monotonic() + 2.0
+            while (handle.last_beat <= beat_before
+                   and time.monotonic() < deadline):
+                events = coordinator.poll(0.02)
+                assert all(e[0] != "lost" for e in events)
+            assert handle.last_beat > beat_before
+        assert coordinator.worker_count() == 1
+        worker.close()
+
+    def test_drop_worker_is_silent(self, coordinator):
+        worker, worker_id = self._join(coordinator)
+        coordinator.drop_worker(worker_id)
+        assert coordinator.worker_count() == 0
+        for _ in range(5):
+            assert all(e[0] != "lost" for e in coordinator.poll(0.02))
+        worker.close()
+
+    def test_send_job_to_dead_socket_returns_false(self, coordinator):
+        worker, worker_id = self._join(coordinator)
+        worker.close()
+        # the first send may land in the kernel buffer; the coordinator
+        # either fails the send immediately or notices EOF on poll
+        ok = coordinator.send_job(worker_id, {"type": "job", "task": "t5"})
+        if ok:
+            pump(coordinator, until=lambda e: any(
+                ev[0] == "lost" for ev in e))
+        assert coordinator.send_job(
+            worker_id, {"type": "job", "task": "t6"}) is False

@@ -1,0 +1,124 @@
+"""Wire-protocol unit tests: framing, payloads, addresses.
+
+The protocol layer has one correctness obligation — an arbitrary byte
+stream of concatenated frames parses back into the same frame sequence
+regardless of how ``recv`` happened to chunk it — plus loud failure on
+anything that is not a frame stream.
+"""
+
+import socket
+
+import pytest
+
+from repro.cluster.protocol import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    FrameReader,
+    decode_payload,
+    encode_frame,
+    encode_payload,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+
+
+class TestFraming:
+    def test_round_trip_one_frame(self):
+        frame = {"type": "job", "task": "7", "attempt": 2}
+        assert FrameReader().feed(encode_frame(frame)) == [frame]
+
+    def test_byte_at_a_time_reassembly(self):
+        frames = [
+            {"type": "hello", "pid": 123},
+            {"type": "heartbeat"},
+            {"type": "result", "task": "1", "payload": "x" * 500},
+        ]
+        wire = b"".join(encode_frame(f) for f in frames)
+        reader = FrameReader()
+        seen = []
+        for i in range(len(wire)):
+            seen.extend(reader.feed(wire[i:i + 1]))
+        assert seen == frames
+
+    def test_many_frames_in_one_feed(self):
+        frames = [{"type": "heartbeat", "n": n} for n in range(10)]
+        wire = b"".join(encode_frame(f) for f in frames)
+        assert FrameReader().feed(wire) == frames
+
+    def test_oversized_length_prefix_is_a_frame_error(self):
+        import struct
+
+        bad = struct.pack(">I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(FrameError):
+            FrameReader().feed(bad)
+
+    def test_non_json_body_is_a_frame_error(self):
+        import struct
+
+        body = b"\xff\xfe not json"
+        with pytest.raises(FrameError):
+            FrameReader().feed(struct.pack(">I", len(body)) + body)
+
+    def test_untyped_frame_is_a_frame_error(self):
+        import json
+        import struct
+
+        body = json.dumps([1, 2, 3]).encode()
+        with pytest.raises(FrameError):
+            FrameReader().feed(struct.pack(">I", len(body)) + body)
+
+
+class TestPayloads:
+    def test_python_values_round_trip(self):
+        value = ("result", {"counters": {"sim.windows": 2}}, 0.25, 4242,
+                 [{"name": "attempt"}])
+        assert decode_payload(encode_payload(value)) == value
+
+    def test_payload_is_json_safe_ascii(self):
+        import json
+
+        text = encode_payload({"k": b"\x00\xff"})
+        assert json.loads(json.dumps(text)) == text
+
+
+class TestRecvFrame:
+    def test_recv_over_socketpair_preserves_frame_boundaries(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, {"type": "welcome", "worker_id": 1})
+            send_frame(left, {"type": "job", "task": "9"})
+            reader = FrameReader()
+            assert recv_frame(right, reader) == {
+                "type": "welcome", "worker_id": 1}
+            assert recv_frame(right, reader) == {"type": "job", "task": "9"}
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_is_none(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert recv_frame(right) is None
+        finally:
+            right.close()
+
+
+class TestParseAddress:
+    def test_host_port_is_tcp(self):
+        assert parse_address("10.1.2.3:7071") == (
+            socket.AF_INET, ("10.1.2.3", 7071))
+
+    def test_bare_port_defaults_host(self):
+        assert parse_address(":7071") == (
+            socket.AF_INET, ("127.0.0.1", 7071))
+
+    def test_path_is_unix(self):
+        family, arg = parse_address("/tmp/cluster.sock")
+        assert family == socket.AF_UNIX
+        assert arg == "/tmp/cluster.sock"
+
+    def test_path_containing_colon_stays_unix(self):
+        family, _ = parse_address("/tmp/run:1/cluster.sock")
+        assert family == socket.AF_UNIX

@@ -321,6 +321,28 @@ class TestJournal:
         # the intact prefix still replays
         assert counters["engine.journal_replays"] == 3
 
+    def test_truncated_final_line_replays_the_intact_prefix(self, tmp_path):
+        """A run killed mid-``write`` leaves a half-written final line;
+        the prefix before it must replay as if the tail never happened."""
+        reference, first = self._run(tmp_path)
+        path = journal_path((tmp_path / "cache"), first.last_run_id)
+        raw = path.read_bytes().rstrip(b"\n")
+        lines = raw.split(b"\n")
+        assert len(lines) == 4  # header + three job lines
+        # keep the header and two intact job lines; cut the last job
+        # line off mid-record
+        torn = b"\n".join(lines[:-1]) + b"\n" + lines[-1][: len(lines[-1]) // 2]
+        path.write_bytes(torn)
+        bus = ProbeBus()
+        result, runner = self._run(
+            tmp_path, resume=first.last_run_id, bus=bus
+        )
+        assert result.to_json() == reference.to_json()
+        counters = bus.snapshot()["counters"]
+        assert counters["engine.journal_corrupt"] == 1
+        assert counters["engine.journal_replays"] == 2
+        assert runner.stats.journal_replays == 2
+
     def test_stale_journal_for_changed_plan_starts_clean(self, tmp_path):
         _, first = self._run(tmp_path)
         changed = replace(MICRO, benchmarks=("alpha", "beta"))
