@@ -69,6 +69,8 @@ __all__ = [
     "SweepAxis",
     "adhoc_sweep_spec",
     "default_settings",
+    "fsck_store",
+    "gc_store",
     "get_experiment",
     "get_scenario",
     "inspect_run",
@@ -209,6 +211,48 @@ def make_runner(
         span_flush_every=span_flush_every, backend=backend,
         workers=workers, worker_address=worker_address,
     )
+
+
+def fsck_store(cache_dir: Optional[os.PathLike] = None, *,
+               repair: bool = False) -> dict:
+    """Verify every durable artifact under the cache dir.
+
+    Walks cache entries, journals, span stores and the serve-inflight
+    snapshot, classifying damage (``truncated`` / ``bit_flipped`` /
+    ``wrong_schema`` / ``orphan_tmp``).  With ``repair=True`` damaged
+    files are quarantined to ``<cache>/lost+found/`` (JSONL stores
+    with intact records are rewritten to just those records) so the
+    next run regenerates what was lost.  Returns the report dict the
+    ``repro fsck`` CLI prints; ``report["ok"]`` is ``False`` while
+    unrepaired damage remains.
+    """
+    from repro.experiments.cache import default_cache_dir
+    from repro.store.fsck import fsck
+
+    root = cache_dir if cache_dir is not None else default_cache_dir()
+    return fsck(root, repair=repair)
+
+
+def gc_store(cache_dir: Optional[os.PathLike] = None, *,
+             max_bytes: Optional[int] = None,
+             max_age_s: Optional[float] = None,
+             keep_runs: Optional[int] = None,
+             dry_run: bool = False) -> dict:
+    """Apply a retention policy to the durable store.
+
+    Prunes cache entries (by age, then oldest-first to ``max_bytes``),
+    run journals and span stores (by age and ``keep_runs``), and stale
+    lock files — never touching state referenced by an in-progress
+    run's advisory lock.  Returns the sweep report dict the
+    ``repro gc`` CLI prints.
+    """
+    from repro.experiments.cache import default_cache_dir
+    from repro.store.gc import GCPolicy, collect
+
+    root = cache_dir if cache_dir is not None else default_cache_dir()
+    policy = GCPolicy(max_bytes=max_bytes, max_age_s=max_age_s,
+                      keep_runs=keep_runs)
+    return collect(root, policy, dry_run=dry_run)
 
 
 def inspect_run(run_id: str,

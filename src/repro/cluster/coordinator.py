@@ -273,6 +273,23 @@ class Coordinator:
             kind = frame.get("type")
             if kind == "hello":
                 handle.pid = frame.get("pid")
+                # Store-integrity gate: cache keys embed the
+                # coordinator's code fingerprint, so a worker running
+                # different code would cache silently wrong payloads
+                # under our keys.  A hello that declares a fingerprint
+                # must match; legacy hellos without one still join.
+                declared = frame.get("code_version")
+                if declared is not None and declared != self._code_version():
+                    get_probes().count("cluster.version_skew_rejects")
+                    try:
+                        send_frame(handle.sock, {
+                            "type": "shutdown",
+                            "reason": "code version skew",
+                        })
+                    except OSError:
+                        pass
+                    self._lose(handle, events)
+                    return
                 try:
                     send_frame(handle.sock, {
                         "type": "welcome",
@@ -298,6 +315,12 @@ class Coordinator:
                     str(frame.get("error_type", "RuntimeError")),
                     str(frame.get("error", "")),
                 ))
+
+    @staticmethod
+    def _code_version() -> str:
+        from repro.experiments.cache import code_version
+
+        return code_version()
 
     def _lose(self, handle: WorkerHandle, events: List[Tuple]) -> None:
         """EOF/garbage/expiry: evict and surface the orphaned task."""

@@ -13,6 +13,12 @@ A ``kill`` fault SIGKILLs *this* process mid-job, which is exactly the
 live-worker-death the chaos driver and the cluster backend's
 requeue/steal path are proven against.
 
+The hello frame carries this worker's code-version fingerprint (the
+same one cache keys embed); the coordinator refuses a mismatched
+worker at join time, because results computed by different code cached
+under the coordinator's content addresses would be silent wrong data —
+exactly the corruption class no checksum can catch.
+
 Failed jobs ship an ``error`` frame carrying the exception's type name
 and message; the worker itself survives and takes the next lease.
 Spans ship back only on success (the coordinator fabricates
@@ -89,11 +95,17 @@ def serve_forever(address: str) -> int:
     stop = threading.Event()
     reader = FrameReader()
     try:
+        from repro.experiments.cache import code_version
+
         with lock:
             send_frame(sock, {
                 "type": "hello",
                 "pid": os.getpid(),
                 "host": socket.gethostname(),
+                # the coordinator refuses a fingerprint mismatch:
+                # results computed by different code must never be
+                # cached under this coordinator's content addresses
+                "code_version": code_version(),
             })
         welcome = recv_frame(sock, reader)
         if welcome is None or welcome.get("type") != "welcome":

@@ -15,6 +15,8 @@ Examples::
         --set stages.rotation=false
     python -m repro.experiments fig17 --backend cluster --workers 2
     python -m repro.experiments worker --connect 127.0.0.1:7071
+    python -m repro.experiments fsck --repair
+    python -m repro.experiments gc --max-age 7d --keep-runs 20
 
 ``list`` prints every registered scenario with its description.
 ``inspect`` reconstructs a finished (or interrupted) run's timeline
@@ -23,6 +25,10 @@ run, newest first) — see :mod:`repro.obs.inspect`.
 ``worker`` joins a cluster coordinator (``repro run/sweep --backend
 cluster --bind ADDR`` on the scheduling side) and executes its jobs —
 see :mod:`repro.cluster`.
+``fsck`` verifies every durable artifact under the cache dir (and with
+``--repair`` quarantines damage to ``lost+found/``); ``gc`` applies a
+retention policy without ever touching an in-progress run's state —
+see :mod:`repro.store`.
 ``sweep`` runs an ad-hoc, never-registered scenario: each ``--axis``
 adds a sweep dimension (settings fields, config overrides, dotted
 ``stages.<flag>`` keys, ``allocated_fraction`` ...), ``--set`` pins an
@@ -67,6 +73,16 @@ def main(argv=None) -> int:
         from repro.cluster.worker import main as worker_main
 
         return worker_main(argv[1:])
+    if argv[:1] == ["fsck"]:
+        # `repro fsck [--repair]`: verify the durable store's envelopes
+        from repro.store.fsck import main as fsck_main
+
+        return fsck_main(argv[1:])
+    if argv[:1] == ["gc"]:
+        # `repro gc`: apply a retention policy to the durable store
+        from repro.store.gc import main as gc_main
+
+        return gc_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
@@ -76,9 +92,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         help=f"experiment id, 'all', 'list' (describe registered "
-             f"scenarios), 'sweep' (ad-hoc --axis/--set sweep) or "
-             f"'inspect <run-id>' (reconstruct a run's timeline); "
-             f"one of: {', '.join(REGISTRY)}",
+             f"scenarios), 'sweep' (ad-hoc --axis/--set sweep), "
+             f"'inspect <run-id>' (reconstruct a run's timeline), "
+             f"'fsck' (verify/repair the store) or 'gc' (apply a "
+             f"retention policy); one of: {', '.join(REGISTRY)}",
     )
     parser.add_argument("--axis", action="append", default=[],
                         metavar="NAME=V1,V2,...",

@@ -1,6 +1,6 @@
 """Chaos smoke driver: prove the run lifecycle survives induced faults.
 
-Four phases, each a small ``fig17`` run at micro scale, exercising the
+Five phases, each a small ``fig17`` run at micro scale, exercising the
 fault-tolerance machinery end to end through the public
 :class:`~repro.experiments.lifecycle.RunRequest` API:
 
@@ -17,6 +17,13 @@ D. **cluster worker death** — SIGKILL a live ``--backend cluster``
    lost lease, requeue the orphaned job onto a surviving worker, and
    the result must be byte-identical to a serial run in a pristine
    cache.
+E. **store integrity** — damage the durable store every way it can
+   break: a write path that fails (the run must complete uncached with
+   the ``store.degraded`` gauge set and exactly one warning), live
+   cache entries truncated and bit-flipped mid-run (the next run must
+   classify each as a miss and recompute), and all four corruption
+   classes injected offline for ``repro fsck --repair`` to quarantine
+   — with every result byte-identical to an undisturbed serial run.
 
 Run it as ``python -m repro.experiments.chaos --report chaos_report.json``;
 CI's chaos-smoke job uploads the JSON report as an artifact.  Exit
@@ -221,6 +228,97 @@ def phase_d_cluster(report: ChaosReport, root: Path) -> None:
                  result.to_json() == reference.to_json())
 
 
+def phase_e_store(report: ChaosReport, root: Path) -> None:
+    """Durable-store integrity under induced damage.
+
+    Three acts: (1) a cache whose entry directories cannot be created
+    — every put fails with an OSError, the store must degrade (gauge,
+    one warning) and the run must still produce correct results;
+    (2) live entries truncated and bit-flipped by mid-run faults — the
+    next run must classify each damaged read as a miss and recompute;
+    (3) all four corruption classes injected offline, quarantined by
+    ``fsck --repair``, and a final rerun byte-identical to an
+    undisturbed serial run.
+    """
+    import warnings as warnings_mod
+
+    from repro.experiments.cache import CACHE_SCHEMA
+    from repro.store.fsck import fsck
+
+    reference, _ = _run(root / "phase-e-reference", jobs=1)
+
+    # -- act 1: failing write path degrades, run completes -------------
+    enospc_root = root / "phase-e-enospc"
+    enospc_root.mkdir(parents=True, exist_ok=True)
+    # a FILE where the entry tree belongs: every put's mkdir fails with
+    # an OSError, the same failure shape as ENOSPC at write time
+    (enospc_root / f"v{CACHE_SCHEMA}").write_text("")
+    bus = ProbeBus()
+    with warnings_mod.catch_warnings(record=True) as caught:
+        warnings_mod.simplefilter("always")
+        degraded_result, _ = _run(enospc_root, jobs=1, probes=bus)
+    degrade_warnings = [w for w in caught
+                        if issubclass(w.category, RuntimeWarning)
+                        and "degraded" in str(w.message)]
+    report.check("E", "failed put degrades with exactly one warning",
+                 len(degrade_warnings) == 1,
+                 f"warnings={len(degrade_warnings)}")
+    gauges = bus.snapshot().get("gauges", {})
+    report.check("E", "store.degraded gauge set", "store.degraded" in gauges)
+    report.check("E", "degraded run result byte-identical to reference",
+                 degraded_result.to_json() == reference.to_json())
+
+    # -- act 2: live truncation + bit flip classified on next read -----
+    cache_dir = root / "phase-e-store"
+    faults = FaultPlan((
+        FaultSpec(job_index=0, kind="corrupt-cache"),
+        FaultSpec(job_index=1, kind="bitflip-cache"),
+    ))
+    _run(cache_dir, jobs=1, faults=faults)
+    bus = ProbeBus()
+    reread_result, _ = _run(cache_dir, probes=bus)
+    counters = bus.snapshot().get("counters", {})
+    report.check("E", "truncated entry classified on reread",
+                 counters.get("store.corrupt.truncated", 0) >= 1,
+                 f"counters={counters.get('store.corrupt.truncated', 0)}")
+    report.check("E", "bit-flipped entry classified on reread",
+                 counters.get("store.corrupt.bit_flipped", 0) >= 1,
+                 f"counters={counters.get('store.corrupt.bit_flipped', 0)}")
+    report.check("E", "reread result byte-identical to reference",
+                 reread_result.to_json() == reference.to_json())
+
+    # -- act 3: all four classes injected, fsck repairs, rerun matches -
+    entries = sorted(cache_dir.glob(f"v{CACHE_SCHEMA}/??/*.pkl"))
+    report.check("E", "cache has entries to corrupt", len(entries) >= 2,
+                 f"entries={len(entries)}")
+    if len(entries) >= 2:
+        blob = entries[0].read_bytes()
+        entries[0].write_bytes(blob[: len(blob) // 2])       # truncated
+        flipped = bytearray(entries[1].read_bytes())
+        flipped[-1] ^= 0xFF
+        entries[1].write_bytes(bytes(flipped))               # bit_flipped
+    alien_dir = cache_dir / f"v{CACHE_SCHEMA}" / "zz"
+    alien_dir.mkdir(parents=True, exist_ok=True)
+    (alien_dir / ("f" * 64 + ".pkl")).write_bytes(b"no envelope here")
+    (alien_dir / ("0" * 64 + ".pkl.tmp.4242")).write_bytes(b"orphan")
+    fsck_report = fsck(cache_dir, repair=True, min_tmp_age_s=0.0)
+    for kind in ("truncated", "bit_flipped", "wrong_schema", "orphan_tmp"):
+        report.check("E", f"fsck detected {kind}",
+                     fsck_report["corrupt"].get(kind, 0) >= 1,
+                     f"count={fsck_report['corrupt'].get(kind, 0)}")
+    report.check("E", "fsck repaired everything it found",
+                 fsck_report["ok"] and fsck_report["unrepaired"] == 0,
+                 f"unrepaired={fsck_report['unrepaired']}")
+    report.check("E", "quarantine directory populated",
+                 any((cache_dir / "lost+found").rglob("*")))
+    clean = fsck(cache_dir)
+    report.check("E", "store clean after repair",
+                 clean["ok"] and sum(clean["corrupt"].values()) == 0)
+    final_result, _ = _run(cache_dir, jobs=1)
+    report.check("E", "post-repair rerun byte-identical to reference",
+                 final_result.to_json() == reference.to_json())
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.chaos",
@@ -263,6 +361,10 @@ def main(argv=None) -> int:
             phase_d_cluster(report, root)
         except Exception as exc:  # noqa: BLE001
             report.error("D", exc)
+        try:
+            phase_e_store(report, root)
+        except Exception as exc:  # noqa: BLE001
+            report.error("E", exc)
     finally:
         doc = report.to_dict()
         doc["elapsed_s"] = round(time.monotonic() - start, 3)

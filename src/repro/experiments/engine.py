@@ -88,6 +88,7 @@ from repro.obs.spans import (
     span_path,
     trace_id_for_run,
 )
+from repro.store import locks as store_locks
 
 SIMULATE = "repro.experiments.runner:simulate_benchmark"
 """Default job function: one full-system benchmark simulation."""
@@ -353,6 +354,7 @@ class Runner:
         self.run_records: List[dict] = []
         self._metric_keys: set = set()
         self._journal: Optional[journal_mod.RunJournal] = None
+        self._run_lock = None
         self._resume_keys: Set[str] = set()
         self._job_index: Dict[str, int] = {}
         self._tries: Dict[str, int] = {}
@@ -475,6 +477,20 @@ class Runner:
                     self._resume_keys = set(prior.done)
                     self.stats.journal_resumes += 1
                     ambient.count("engine.journal_resumes")
+        # claim the run id under an advisory lock: a concurrent run
+        # sharing this cache dir holding `rid` pushes us to `rid.2`,
+        # `rid.3`, ... so two processes can never interleave a journal
+        rid, self._run_lock, conflicts = store_locks.acquire_run_id(
+            self.cache.root, rid
+        )
+        if conflicts:
+            ambient.count("store.run_id_conflicts", conflicts)
+            # the journal under the original id belongs to the live run
+            # that beat us to it — start fresh under the suffixed id.
+            # `_resume_keys` survives: the prior run's done-set still
+            # names valid cache entries, so replays stay replays (they
+            # are re-recorded in *our* journal as they hit).
+            prior = None
         self._journal = journal_mod.RunJournal.start(
             self.cache.root, rid, experiment_id=experiment_id,
             plan_digest=plan_digest, settings_digest=settings_digest,
@@ -487,6 +503,7 @@ class Runner:
         sink = JsonlTraceSink(
             span_path(self.cache.root, rid),
             flush_every=self.span_flush_every, append=prior is not None,
+            checksum=True,
         )
         self._mint_trace(rid, sink=sink)
 
@@ -494,6 +511,9 @@ class Runner:
         if self._journal is not None:
             self._journal.close()
             self._journal = None
+        if self._run_lock is not None:
+            self._run_lock.release()
+            self._run_lock = None
 
     # ------------------------------------------------------------------
     # trace lifecycle (mirrors the journal's)
@@ -665,6 +685,9 @@ class Runner:
         """Release the backend's long-lived machinery (workers, sockets)."""
         if self.backend is not None:
             self.backend.close()
+        if self._run_lock is not None:
+            self._run_lock.release()
+            self._run_lock = None
 
     # ------------------------------------------------------------------
     # retry / fault bookkeeping
@@ -791,6 +814,9 @@ class Runner:
             if spec.kind == "corrupt-cache":
                 if self.cache is not None:
                     faults_mod.corrupt_cache_entry(self.cache, key)
+            elif spec.kind == "bitflip-cache":
+                if self.cache is not None:
+                    faults_mod.bitflip_cache_entry(self.cache, key)
             elif spec.kind == "abort-run":  # pragma: no cover - kills us
                 faults_mod.abort_run()
 

@@ -19,6 +19,10 @@ plan through its scheduler:
 * ``corrupt-cache`` — after the job's result is cached, its cache
   entry is truncated on disk (exercises the corrupt-entry recovery
   path on the next read);
+* ``bitflip-cache`` — after the job's result is cached, one payload
+  byte of its entry is inverted in place, leaving length and framing
+  intact (exercises the envelope's checksum verification: only the
+  SHA-256 can catch this one);
 * ``abort-run`` — after the job completes *and is journaled*, the
   driving process ``SIGKILL``\\ s itself.  This is the
   kill-and-resume integration hook: the journal survives, the run
@@ -37,12 +41,13 @@ import time
 from dataclasses import dataclass
 from typing import Tuple
 
-FAULT_KINDS = ("crash", "kill", "delay", "corrupt-cache", "abort-run")
+FAULT_KINDS = ("crash", "kill", "delay", "corrupt-cache", "bitflip-cache",
+               "abort-run")
 
 WORKER_KINDS = frozenset({"crash", "kill", "delay"})
 """Kinds applied inside the worker, before the job body runs."""
 
-RUNNER_KINDS = frozenset({"corrupt-cache", "abort-run"})
+RUNNER_KINDS = frozenset({"corrupt-cache", "bitflip-cache", "abort-run"})
 """Kinds applied by the runner, after the job completes."""
 
 
@@ -134,6 +139,26 @@ def corrupt_cache_entry(cache, key: str) -> bool:
         return False
     blob = path.read_bytes()
     path.write_bytes(blob[: max(1, len(blob) // 2)])
+    return True
+
+
+def bitflip_cache_entry(cache, key: str) -> bool:
+    """Invert one payload byte of ``key``'s cache entry in place.
+
+    The file keeps its envelope framing and declared length, so only
+    checksum verification can reject it — the silent-corruption shape
+    (cosmic ray, controller bug) the integrity envelope exists for.
+    Returns whether an entry existed to corrupt.
+    """
+    path = cache.path_for(key)
+    if not path.exists():
+        return False
+    blob = bytearray(path.read_bytes())
+    if not blob:
+        return False
+    # flip the last byte: always inside the payload, never the header
+    blob[-1] ^= 0xFF
+    path.write_bytes(bytes(blob))
     return True
 
 

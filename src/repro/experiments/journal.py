@@ -17,12 +17,24 @@ Journal format (schema 1)::
     {"kind": "job", "key": ..., "status": "failed", "error": ...,
      "attempts": ..., "worker_crashes": ...}
 
-Loading is tolerant by construction: parsing stops at the first
-corrupt line (a run killed mid-``write`` leaves a truncated tail) and
-whatever parsed before it is trusted — the append-only discipline
-makes every prefix a consistent state.  A corrupt *header* means the
-journal carries no usable state and the run restarts clean; both cases
-are counted on the probe bus (``engine.journal_corrupt``).
+Lines are *sealed*: each record embeds a truncated SHA-256 of its own
+canonical dump (:func:`repro.store.envelope.seal_record`), so a
+flipped bit inside an otherwise-parseable line is detected and refused
+rather than replayed as state.  Loading is tolerant by construction:
+parsing stops at the first corrupt line (a run killed mid-``write``
+leaves a truncated tail) and whatever parsed before it is trusted —
+the append-only discipline makes every prefix a consistent state.  A
+corrupt *header* means the journal carries no usable state and the run
+restarts clean; both cases are counted on the probe bus
+(``engine.journal_corrupt`` plus the classified
+``store.corrupt.<class>`` counters).  Bare unsealed lines still load:
+journals written before sealing existed, and hand-written fixtures,
+remain valid.
+
+Appends that hit a failing disk (ENOSPC, EIO) put the journal into
+degraded mode — further appends are skipped, one warning is issued,
+``store.degraded`` is set — so the run completes (unresumable, but
+correct) instead of crashing.
 
 Run ids default to a deterministic token derived from the experiment
 id and settings (:func:`default_run_id`), so "resume the run I just
@@ -31,13 +43,14 @@ lost" needs no bookkeeping beyond re-issuing the same request.
 
 from __future__ import annotations
 
-import json
 import re
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Set
 
 from repro.experiments.cache import stable_digest
+from repro.store.envelope import count_corruption, open_record, seal_record
 
 JOURNAL_SCHEMA = 1
 
@@ -88,10 +101,11 @@ def load_state(cache_root, run_id: str) -> Optional[JournalState]:
     for line in raw.splitlines():
         if not line.strip():
             continue
-        try:
-            record = json.loads(line)
-            kind = record["kind"]
-        except (ValueError, TypeError, KeyError):
+        record, damage = open_record(line)
+        kind = record.get("kind") if record is not None else None
+        if record is None or kind is None:
+            count_corruption(damage or "wrong_schema", store="journal",
+                             path=path, run_id=run_id)
             if state is not None:
                 state.truncated = True
             return state
@@ -131,6 +145,12 @@ class RunJournal:
         self.path = path
         self._fh = fh
         self.recorded: Set[str] = set()
+        self._degraded = False
+
+    @property
+    def degraded(self) -> bool:
+        """Whether an append failure disabled this journal."""
+        return self._degraded
 
     @classmethod
     def start(cls, cache_root, run_id: str, *, experiment_id: str,
@@ -161,8 +181,25 @@ class RunJournal:
         return journal
 
     def _append(self, record: dict) -> None:
-        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
-        self._fh.flush()
+        if self._degraded:
+            return
+        try:
+            self._fh.write(seal_record(record) + "\n")
+            self._fh.flush()
+        except OSError as exc:
+            from repro.obs import get_probes
+
+            self._degraded = True
+            probes = get_probes()
+            probes.count("store.append_errors")
+            probes.gauge("store.degraded", 1)
+            warnings.warn(
+                f"journal at {self.path} is degraded "
+                f"({type(exc).__name__}: {exc}); this run will not be "
+                f"resumable",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def record_done(self, key: str) -> None:
         if key in self.recorded:

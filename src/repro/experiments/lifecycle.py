@@ -229,8 +229,11 @@ def execute(request: RunRequest, runner: Optional[Runner] = None) -> ExperimentR
 
     Pass a shared ``runner`` to reuse one cache/manifest across several
     requests (``repro.api.run_all`` and the CLI's ``all`` do); it is
-    built from the request otherwise.  The request's probe bus, resume
-    token and run id are threaded through either way.
+    built from the request otherwise — and an internally-built runner
+    is closed before returning, so its backend machinery and the run's
+    advisory lock are released the moment the run ends rather than at
+    garbage-collection time.  The request's probe bus, resume token and
+    run id are threaded through either way.
     """
     if (request.experiment_id is None) == (request.spec is None):
         raise ValueError(
@@ -251,20 +254,25 @@ def execute(request: RunRequest, runner: Optional[Runner] = None) -> ExperimentR
                 f"unknown experiment {request.experiment_id!r}; "
                 f"known ids: {known}"
             ) from None
-    if runner is None:
+    owned = runner is None
+    if owned:
         runner = runner_for(request)
-    if request.probes is None:
-        return runner.run_experiment(
-            experiment, request.settings,
-            run_id=request.run_id, resume=request.resume,
-        )
-    from repro.obs import use_probes
+    try:
+        if request.probes is None:
+            return runner.run_experiment(
+                experiment, request.settings,
+                run_id=request.run_id, resume=request.resume,
+            )
+        from repro.obs import use_probes
 
-    with use_probes(request.probes):
-        return runner.run_experiment(
-            experiment, request.settings,
-            run_id=request.run_id, resume=request.resume,
-        )
+        with use_probes(request.probes):
+            return runner.run_experiment(
+                experiment, request.settings,
+                run_id=request.run_id, resume=request.resume,
+            )
+    finally:
+        if owned:
+            runner.close()
 
 
 def execute_all(

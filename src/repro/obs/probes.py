@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import json
 import time
+import warnings
 from contextlib import contextmanager
 from pathlib import Path
 from types import MappingProxyType
@@ -55,10 +56,18 @@ class JsonlTraceSink:
     line costs syscalls the happy path doesn't need — the chaos driver
     and the engine's span store arm it).  ``append=True`` opens an
     owned path in append mode, for stores shared across resumes.
+    ``checksum=True`` seals each line with an embedded record digest
+    (:func:`repro.store.envelope.seal_record`) so readers can detect
+    bit flips; the engine's durable span store arms it.
+
+    A write failure (ENOSPC, EIO) degrades the sink — further records
+    are dropped with one warning and a ``store.degraded`` gauge —
+    rather than crashing the traced run.
     """
 
     def __init__(self, target: Union[str, Path, TextIO], *,
-                 flush_every: Optional[int] = None, append: bool = False):
+                 flush_every: Optional[int] = None, append: bool = False,
+                 checksum: bool = False):
         if flush_every is not None and flush_every < 1:
             raise ValueError(f"flush_every must be >= 1, got {flush_every}")
         if hasattr(target, "write"):
@@ -73,23 +82,53 @@ class JsonlTraceSink:
             self._owns = True
         self._closed = False
         self.flush_every = flush_every
+        self.checksum = checksum
         self.events_written = 0
+        self.degraded = False
 
     def emit(self, record: dict) -> None:
-        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
-        self.events_written += 1
-        if (self.flush_every is not None
-                and self.events_written % self.flush_every == 0):
-            self._fh.flush()
+        if self.degraded:
+            return
+        if self.checksum:
+            from repro.store.envelope import seal_record
+
+            line = seal_record(record)
+        else:
+            line = json.dumps(record, sort_keys=True)
+        try:
+            self._fh.write(line + "\n")
+            self.events_written += 1
+            if (self.flush_every is not None
+                    and self.events_written % self.flush_every == 0):
+                self._fh.flush()
+        except OSError as exc:
+            from repro.obs import get_probes
+
+            self.degraded = True
+            get_probes().gauge("store.degraded", 1)
+            target = self.path if self.path is not None else "<stream>"
+            warnings.warn(
+                f"trace sink at {target} is degraded "
+                f"({type(exc).__name__}: {exc}); further trace records "
+                f"will be dropped",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def close(self) -> None:
         """Flush (and close an owned file); safe to call repeatedly."""
         if self._closed:
             return
         self._closed = True
-        self._fh.flush()
+        try:
+            self._fh.flush()
+        except OSError:
+            self.degraded = True
         if self._owns:
-            self._fh.close()
+            try:
+                self._fh.close()
+            except OSError:
+                pass
 
 
 class ListTraceSink:

@@ -281,32 +281,51 @@ def span_path(cache_root: Union[str, Path], run_id: str) -> Path:
 
 def append_spans(cache_root: Union[str, Path], run_id: str,
                  records) -> Path:
-    """Append finished span records to the run's store file."""
+    """Append finished span records (sealed) to the run's store file."""
+    from repro.store.envelope import seal_record
+
     path = span_path(cache_root, run_id)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("a", encoding="utf-8") as fh:
         for record in records:
-            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.write(seal_record(record) + "\n")
     return path
 
 
 def read_spans(path: Union[str, Path]) -> List[dict]:
-    """Load span records, skipping torn trailing lines (crash debris)."""
+    """Load span records, skipping damaged lines with the class counted.
+
+    Sealed lines (written with an embedded ``"_sha"`` digest) are
+    verified before use; unsealed lines from older stores still load.
+    A line that fails — torn by a crash or flipped on disk — is
+    dropped and counted on the ambient ``store.corrupt.<class>``
+    counter, never surfaced as a span.
+    """
+    from repro.store.envelope import count_corruption, open_record
+
     records: List[dict] = []
     path = Path(path)
     if not path.exists():
         return records
-    with path.open("r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except ValueError:
-                continue
-            if isinstance(record, dict) and "span_id" in record:
-                records.append(record)
+    try:
+        # errors="replace", not strict: a flipped byte that lands on a
+        # multi-byte boundary must classify as damage, not raise
+        raw = path.read_text(encoding="utf-8", errors="replace")
+    except OSError:
+        from repro.obs import get_probes
+
+        get_probes().count("store.read_errors")
+        return records
+    for line in raw.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record, damage = open_record(line)
+        if record is None:
+            count_corruption(damage, store="spans", path=path)
+            continue
+        if "span_id" in record:
+            records.append(record)
     return records
 
 

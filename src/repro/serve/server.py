@@ -101,6 +101,15 @@ class ServeConfig:
     # spawn `experiment_workers` cluster workers per request.
     experiment_backend: Optional[str] = None
     experiment_workers: Optional[int] = None
+    # -- store retention GC --------------------------------------------
+    # A background sweep applies the GC policy to the cache dir every
+    # `gc_interval_s` seconds (0 disables it).  The policy knobs mirror
+    # `repro gc`: unset knobs impose no bound, and state referenced by
+    # an in-progress run's lock is never removed.
+    gc_interval_s: float = 0.0
+    gc_max_bytes: Optional[int] = None
+    gc_max_age_s: Optional[float] = None
+    gc_keep_runs: Optional[int] = None
 
 
 class ReproServer:
@@ -138,6 +147,7 @@ class ReproServer:
         # on Python 3.9, and servers may be constructed outside one
         self._idle_event: Optional[asyncio.Event] = None
         self._stopped_event: Optional[asyncio.Event] = None
+        self._gc_task: Optional[asyncio.Task] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -167,12 +177,23 @@ class ReproServer:
         self.host, self.port = sock[0], sock[1]
         self.state = "serving"
         self._resume_journaled_experiments()
+        if self.config.gc_interval_s > 0:
+            self._gc_task = asyncio.get_running_loop().create_task(
+                self._gc_loop()
+            )
 
     async def drain(self) -> None:
         """Graceful shutdown: stop listening, finish in-flight, stop."""
         if self.state in ("draining", "stopped"):
             return
         self.state = "draining"
+        if self._gc_task is not None:
+            self._gc_task.cancel()
+            try:
+                await self._gc_task
+            except asyncio.CancelledError:
+                pass
+            self._gc_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -472,14 +493,21 @@ class ReproServer:
         """
         if not self._inflight_experiments:
             return
+        from repro.store.envelope import snapshot_digest
+
         records = [asdict(req) for req in self._inflight_experiments.values()]
         path = self._inflight_journal_path()
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(".json.tmp")
-            tmp.write_text(json.dumps(
-                {"schema": 1, "requests": records}, sort_keys=True
-            ))
+            with tmp.open("w", encoding="utf-8") as fh:
+                fh.write(json.dumps(
+                    {"schema": 1, "requests": records,
+                     "sha256": snapshot_digest(records)},
+                    sort_keys=True,
+                ))
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         except OSError:
             return
@@ -496,6 +524,8 @@ class ReproServer:
             path.unlink()
         except OSError:
             pass
+        from repro.store.envelope import snapshot_digest
+
         try:
             doc = json.loads(raw)
             records = doc["requests"]
@@ -503,6 +533,14 @@ class ReproServer:
                 raise ValueError("requests must be a list")
         except (KeyError, TypeError, ValueError):
             self.bus.count("serve.resume_journal_corrupt")
+            self.bus.count("store.corrupt.truncated")
+            return
+        declared = doc.get("sha256")
+        if declared is not None and declared != snapshot_digest(records):
+            # the document parses but its content digest disagrees: a
+            # flipped bit could resubmit a mangled request — refuse it
+            self.bus.count("serve.resume_journal_corrupt")
+            self.bus.count("store.corrupt.bit_flipped")
             return
         loop = asyncio.get_running_loop()
         for record in records:
@@ -521,6 +559,46 @@ class ReproServer:
             task.add_done_callback(
                 lambda t: t.cancelled() or t.exception()
             )
+
+    # ------------------------------------------------------------------
+    # store retention GC (background sweep)
+    # ------------------------------------------------------------------
+    def _gc_policy(self):
+        from repro.store.gc import GCPolicy
+
+        return GCPolicy(max_bytes=self.config.gc_max_bytes,
+                        max_age_s=self.config.gc_max_age_s,
+                        keep_runs=self.config.gc_keep_runs)
+
+    def _gc_once(self) -> dict:
+        """One synchronous GC sweep of the configured cache dir.
+
+        Separated from the async loop so tests (and operators via a
+        REPL) can invoke a sweep directly; the sweep's ``store.gc.*``
+        gauges land on this server's bus.
+        """
+        from repro.obs import use_probes
+        from repro.store.gc import collect
+
+        root = (Path(self.config.cache_dir) if self.config.cache_dir
+                else default_cache_dir())
+        with use_probes(self.bus):
+            stats = collect(root, self._gc_policy())
+        self.bus.count("serve.gc_sweeps")
+        return stats
+
+    async def _gc_loop(self) -> None:
+        """Apply the retention policy on a fixed interval until drain."""
+        while True:
+            await asyncio.sleep(self.config.gc_interval_s)
+            try:
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self._gc_once
+                )
+            except asyncio.CancelledError:
+                raise
+            except OSError:
+                self.bus.count("serve.gc_errors")
 
     # ------------------------------------------------------------------
     def metrics_snapshot(self) -> dict:

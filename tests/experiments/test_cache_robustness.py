@@ -59,7 +59,7 @@ class TestCorruptEntries:
     def test_trace_event_emitted_when_tracing(self, cache):
         cache.put(KEY, {"result": 1, "metrics": {}})
         path = cache.path_for(KEY)
-        path.write_bytes(b"\x80\x05corrupt")
+        path.write_bytes(b"\x80\x05corrupt")  # no envelope magic at all
         sink = ListTraceSink()
         bus = ProbeBus(trace=sink)
         with use_probes(bus):
@@ -68,7 +68,7 @@ class TestCorruptEntries:
                   if r["event"] == "cache.corrupt_entry"]
         assert len(events) == 1
         assert events[0]["key"] == KEY
-        assert events[0]["error"] == "UnpicklingError"
+        assert events[0]["error"] == "wrong_schema"
 
     def test_no_trace_event_without_sink(self, cache):
         cache.put(KEY, {"result": 1, "metrics": {}})
@@ -91,3 +91,154 @@ class TestCorruptEntries:
             assert cache.get(KEY) is None
         # plain miss: no corruption accounting
         assert "cache.corrupt_entries" not in bus.counters
+
+
+class TestContainsAgreesWithGet:
+    """``key in cache`` must never promise an entry ``get`` rejects."""
+
+    def test_present_intact_entry(self, cache):
+        cache.put(KEY, {"result": 1, "metrics": {}})
+        assert KEY in cache
+        assert cache.get(KEY) is not None
+
+    def test_absent_entry(self, cache):
+        assert KEY not in cache
+
+    def test_truncated_entry_not_contained(self, cache):
+        cache.put(KEY, {"result": 1, "metrics": {}})
+        path = cache.path_for(KEY)
+        path.write_bytes(path.read_bytes()[:-8])
+        assert KEY not in cache
+        with use_probes(ProbeBus()):
+            assert cache.get(KEY) is None
+
+    def test_foreign_file_not_contained(self, cache):
+        path = cache.path_for(KEY)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"\x80\x05legacy pre-envelope pickle")
+        assert KEY not in cache
+
+    def test_wrong_schema_dir_not_contained(self, cache):
+        from repro.store.envelope import wrap
+
+        path = cache.path_for(KEY)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(wrap(b"payload", schema=999))
+        assert KEY not in cache
+
+
+class TestOrphanTmpSweep:
+    def stale_tmp(self, cache, name="ab" + "1" * 62):
+        import os
+
+        sub = cache.root / f"v{2}" / name[:2]
+        sub.mkdir(parents=True, exist_ok=True)
+        tmp = sub / f"{name}.pkl.tmp.4242"
+        tmp.write_bytes(b"half-written")
+        os.utime(tmp, (1, 1))  # ancient
+        return tmp
+
+    def test_entries_sweeps_stale_tmp(self, cache):
+        from repro.experiments.cache import CACHE_SCHEMA
+
+        cache.put(KEY, {"result": 1, "metrics": {}})
+        sub = cache.root / f"v{CACHE_SCHEMA}" / KEY[:2]
+        tmp = sub / (KEY + ".pkl.tmp.4242")
+        tmp.write_bytes(b"half")
+        import os
+
+        os.utime(tmp, (1, 1))
+        listed = list(cache.entries())
+        assert not tmp.exists()
+        assert listed == [cache.path_for(KEY)]
+
+    def test_entries_keeps_young_tmp(self, cache):
+        from repro.experiments.cache import CACHE_SCHEMA
+
+        sub = cache.root / f"v{CACHE_SCHEMA}" / "ab"
+        sub.mkdir(parents=True, exist_ok=True)
+        tmp = sub / (KEY + ".pkl.tmp.4242")
+        tmp.write_bytes(b"live writer mid-rename")
+        list(cache.entries())
+        assert tmp.exists()  # inside the grace window: left alone
+
+    def test_clear_sweeps_tmp_regardless_of_age(self, cache):
+        from repro.experiments.cache import CACHE_SCHEMA
+
+        cache.put(KEY, {"result": 1, "metrics": {}})
+        sub = cache.root / f"v{CACHE_SCHEMA}" / "ab"
+        tmp = sub / (KEY + ".pkl.tmp.4242")
+        tmp.write_bytes(b"fresh but clear() means everything")
+        assert cache.clear() == 1
+        assert not tmp.exists()
+        assert list(cache.entries()) == []
+
+
+class TestDegradedStore:
+    def break_writes(self, cache):
+        """Make entry-directory creation fail (a file squats on v<N>)."""
+        from repro.experiments.cache import CACHE_SCHEMA
+
+        (cache.root / f"v{CACHE_SCHEMA}").write_text("")
+
+    def test_failed_put_degrades_with_one_warning(self, cache):
+        import warnings as warnings_mod
+
+        cache.root.mkdir(parents=True, exist_ok=True)
+        self.break_writes(cache)
+        bus = ProbeBus()
+        with use_probes(bus):
+            with warnings_mod.catch_warnings(record=True) as caught:
+                warnings_mod.simplefilter("always")
+                cache.put(KEY, {"result": 1, "metrics": {}})
+                cache.put("cd" + "0" * 62, {"result": 2, "metrics": {}})
+        degraded = [w for w in caught if "degraded" in str(w.message)]
+        assert len(degraded) == 1  # warned once, not per put
+        assert cache.degraded
+        assert bus.counters["store.put_errors"] == 1  # second put skipped
+        assert bus.gauges["store.degraded"].last == 1
+
+    def test_degraded_cache_still_serves_reads(self, cache):
+        import warnings as warnings_mod
+
+        cache.put(KEY, {"result": 1, "metrics": {}})
+        entry = cache.path_for(KEY)
+        entry_bytes = entry.read_bytes()
+        cache.clear()
+        for sub in sorted(cache.root.glob("v*/*"), reverse=True):
+            sub.rmdir()
+        for versioned in cache.root.glob("v*"):
+            versioned.rmdir()
+        self.break_writes(cache)
+        with use_probes(ProbeBus()):
+            with warnings_mod.catch_warnings(record=True):
+                warnings_mod.simplefilter("always")
+                cache.put(KEY, {"result": 2, "metrics": {}})
+        assert cache.degraded
+        # restore the tree: reads keep working on a degraded cache
+        (cache.root / "v2").unlink()
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        entry.write_bytes(entry_bytes)
+        assert cache.get(KEY) == {"result": 1, "metrics": {}}
+
+
+class TestOverwriteAudit:
+    def test_replacing_an_entry_is_audited(self, cache):
+        bus = ProbeBus()
+        with use_probes(bus):
+            cache.put(KEY, {"result": 1, "metrics": {}})
+            assert "store.put_overwrites" not in bus.counters
+            cache.put(KEY, {"result": 2, "metrics": {}})
+        assert bus.counters["store.put_overwrites"] == 1
+        assert cache.get(KEY) == {"result": 2, "metrics": {}}
+
+    def test_overwrite_event_when_tracing(self, cache):
+        sink = ListTraceSink()
+        bus = ProbeBus(trace=sink)
+        with use_probes(bus):
+            cache.put(KEY, {"result": 1, "metrics": {}})
+            cache.put(KEY, {"result": 2, "metrics": {}})
+        events = [r for r in sink.records
+                  if r["event"] == "store.put_overwrite"]
+        assert len(events) == 1
+        assert events[0]["key"] == KEY

@@ -1,0 +1,204 @@
+"""Unit tests for the integrity envelope and sealed JSONL records."""
+
+import json
+
+import pytest
+
+from repro.obs import ProbeBus, use_probes
+from repro.obs.probes import ListTraceSink
+from repro.store import envelope as env
+
+
+class TestWrapUnwrap:
+    def test_round_trip(self):
+        payload = b"\x00\x01binary payload\xff" * 100
+        blob = env.wrap(payload, schema=2)
+        assert env.unwrap(blob, schema=2) == payload
+
+    def test_empty_payload_round_trips(self):
+        blob = env.wrap(b"", schema=1)
+        assert env.unwrap(blob, schema=1) == b""
+
+    def test_header_is_ascii_json(self):
+        blob = env.wrap(b"x", schema=7)
+        magic_end = len(env.MAGIC)
+        header = json.loads(blob[magic_end:blob.index(b"\n")])
+        assert header["schema"] == 7
+        assert header["len"] == 1
+        assert header["v"] == env.ENVELOPE_VERSION
+
+    def test_empty_file_is_truncated(self):
+        with pytest.raises(env.EnvelopeError) as exc:
+            env.unwrap(b"", schema=2)
+        assert exc.value.kind == env.TRUNCATED
+
+    def test_cut_inside_magic_is_truncated(self):
+        with pytest.raises(env.EnvelopeError) as exc:
+            env.unwrap(env.MAGIC[:4], schema=2)
+        assert exc.value.kind == env.TRUNCATED
+
+    def test_cut_inside_header_is_truncated(self):
+        blob = env.wrap(b"payload", schema=2)
+        with pytest.raises(env.EnvelopeError) as exc:
+            env.unwrap(blob[: len(env.MAGIC) + 10], schema=2)
+        assert exc.value.kind == env.TRUNCATED
+
+    def test_cut_inside_payload_is_truncated(self):
+        blob = env.wrap(b"payload bytes here", schema=2)
+        with pytest.raises(env.EnvelopeError) as exc:
+            env.unwrap(blob[:-5], schema=2)
+        assert exc.value.kind == env.TRUNCATED
+
+    def test_flipped_payload_byte_is_bit_flipped(self):
+        blob = bytearray(env.wrap(b"payload bytes here", schema=2))
+        blob[-1] ^= 0xFF
+        with pytest.raises(env.EnvelopeError) as exc:
+            env.unwrap(bytes(blob), schema=2)
+        assert exc.value.kind == env.BIT_FLIPPED
+
+    def test_trailing_garbage_is_bit_flipped(self):
+        blob = env.wrap(b"payload", schema=2) + b"extra"
+        with pytest.raises(env.EnvelopeError) as exc:
+            env.unwrap(blob, schema=2)
+        assert exc.value.kind == env.BIT_FLIPPED
+
+    def test_no_magic_is_wrong_schema(self):
+        with pytest.raises(env.EnvelopeError) as exc:
+            env.unwrap(b"\x80\x05a plain pickle, no envelope", schema=2)
+        assert exc.value.kind == env.WRONG_SCHEMA
+
+    def test_schema_mismatch_is_wrong_schema(self):
+        blob = env.wrap(b"payload", schema=2)
+        with pytest.raises(env.EnvelopeError) as exc:
+            env.unwrap(blob, schema=3)
+        assert exc.value.kind == env.WRONG_SCHEMA
+
+    def test_future_envelope_version_is_wrong_schema(self):
+        header = json.dumps({"len": 1, "schema": 2, "sha256": "0" * 64,
+                             "v": env.ENVELOPE_VERSION + 1})
+        blob = env.MAGIC + header.encode() + b"\nx"
+        with pytest.raises(env.EnvelopeError) as exc:
+            env.unwrap(blob, schema=2)
+        assert exc.value.kind == env.WRONG_SCHEMA
+
+    def test_unparseable_header_is_bit_flipped(self):
+        blob = env.MAGIC + b'{"len": not json}\npayload'
+        with pytest.raises(env.EnvelopeError) as exc:
+            env.unwrap(blob, schema=2)
+        assert exc.value.kind == env.BIT_FLIPPED
+
+    def test_unknown_corruption_class_rejected(self):
+        with pytest.raises(ValueError):
+            env.EnvelopeError("melted")
+
+
+class TestCheckHeader:
+    def test_intact_file_passes(self, tmp_path):
+        path = tmp_path / "entry.pkl"
+        path.write_bytes(env.wrap(b"payload", schema=2))
+        assert env.check_header(path, schema=2) is None
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            env.check_header(tmp_path / "absent.pkl", schema=2)
+
+    def test_truncated_payload_detected_by_size(self, tmp_path):
+        path = tmp_path / "entry.pkl"
+        blob = env.wrap(b"p" * 1000, schema=2)
+        path.write_bytes(blob[:-100])
+        assert env.check_header(path, schema=2) == env.TRUNCATED
+
+    def test_trailing_bytes_detected_by_size(self, tmp_path):
+        path = tmp_path / "entry.pkl"
+        path.write_bytes(env.wrap(b"payload", schema=2) + b"x")
+        assert env.check_header(path, schema=2) == env.BIT_FLIPPED
+
+    def test_foreign_file_is_wrong_schema(self, tmp_path):
+        path = tmp_path / "entry.pkl"
+        path.write_bytes(b"not an envelope")
+        assert env.check_header(path, schema=2) == env.WRONG_SCHEMA
+
+    def test_schema_mismatch(self, tmp_path):
+        path = tmp_path / "entry.pkl"
+        path.write_bytes(env.wrap(b"payload", schema=1))
+        assert env.check_header(path, schema=2) == env.WRONG_SCHEMA
+
+    def test_interior_payload_flip_passes(self, tmp_path):
+        # documented blind spot: same length, flipped interior byte —
+        # only unwrap's full hash catches it
+        path = tmp_path / "entry.pkl"
+        blob = bytearray(env.wrap(b"p" * 100, schema=2))
+        blob[-50] ^= 0x01
+        path.write_bytes(bytes(blob))
+        assert env.check_header(path, schema=2) is None
+
+
+class TestSealedRecords:
+    def test_round_trip_strips_sha(self):
+        record = {"kind": "job", "key": "abc", "status": "done"}
+        line = env.seal_record(record)
+        assert env.LINE_SHA_KEY in json.loads(line)
+        loaded, damage = env.open_record(line)
+        assert damage is None
+        assert loaded == record
+
+    def test_reseal_is_stable(self):
+        record = {"kind": "job", "key": "abc"}
+        once = env.seal_record(record)
+        again = env.seal_record(json.loads(once))
+        assert once == again
+
+    def test_unsealed_legacy_line_loads(self):
+        loaded, damage = env.open_record('{"kind": "job", "key": "k"}')
+        assert damage is None
+        assert loaded == {"kind": "job", "key": "k"}
+
+    def test_flipped_sealed_line_is_bit_flipped(self):
+        line = env.seal_record({"kind": "job", "key": "abc"})
+        tampered = line.replace('"abc"', '"abd"')
+        loaded, damage = env.open_record(tampered)
+        assert loaded is None
+        assert damage == env.BIT_FLIPPED
+
+    def test_torn_line_is_truncated(self):
+        line = env.seal_record({"kind": "job", "key": "abc"})
+        loaded, damage = env.open_record(line[: len(line) // 2])
+        assert loaded is None
+        assert damage == env.TRUNCATED
+
+    def test_non_object_line_is_wrong_schema(self):
+        loaded, damage = env.open_record("[1, 2, 3]")
+        assert loaded is None
+        assert damage == env.WRONG_SCHEMA
+
+
+class TestSnapshotDigest:
+    def test_deterministic(self):
+        requests = [{"experiment_id": "fig17", "ticket": "t1"}]
+        assert env.snapshot_digest(requests) == env.snapshot_digest(requests)
+
+    def test_sensitive_to_content(self):
+        a = env.snapshot_digest([{"ticket": "t1"}])
+        b = env.snapshot_digest([{"ticket": "t2"}])
+        assert a != b
+
+
+class TestCountCorruption:
+    def test_bumps_classified_counter(self):
+        bus = ProbeBus()
+        with use_probes(bus):
+            env.count_corruption(env.TRUNCATED, store="cache", path="p")
+        assert bus.counters["store.corrupt.truncated"] == 1
+        assert bus.events_emitted == 0  # no trace sink installed
+
+    def test_traces_when_tracing(self):
+        sink = ListTraceSink()
+        bus = ProbeBus(trace=sink)
+        with use_probes(bus):
+            env.count_corruption(env.BIT_FLIPPED, store="spans",
+                                 path="spans/r.jsonl", line=4)
+        events = [r for r in sink.records
+                  if r["event"] == "store.corrupt_entry"]
+        assert len(events) == 1
+        assert events[0]["kind"] == "bit_flipped"
+        assert events[0]["line"] == 4

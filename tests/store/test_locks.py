@@ -1,0 +1,131 @@
+"""Advisory file locks and the concurrent run-id protocol."""
+
+from repro.store.locks import (
+    FileLock,
+    acquire_run_id,
+    held_lock_files,
+    probe_locked,
+    run_lock_path,
+    stale_lock_files,
+)
+
+
+class TestFileLock:
+    def test_acquire_and_release(self, tmp_path):
+        lock = FileLock(tmp_path / "a.lock")
+        assert not lock.held
+        assert lock.acquire()
+        assert lock.held
+        lock.release()
+        assert not lock.held
+
+    def test_acquire_is_idempotent_while_held(self, tmp_path):
+        lock = FileLock(tmp_path / "a.lock")
+        assert lock.acquire()
+        assert lock.acquire()
+        lock.release()
+
+    def test_second_holder_is_excluded(self, tmp_path):
+        # flock conflicts are per open-file-description, so two
+        # FileLock objects conflict even inside one process — which is
+        # exactly what lets these tests prove the cross-process story
+        first = FileLock(tmp_path / "a.lock")
+        second = FileLock(tmp_path / "a.lock")
+        assert first.acquire()
+        assert not second.acquire(blocking=False)
+        first.release()
+        assert second.acquire(blocking=False)
+        second.release()
+
+    def test_context_manager(self, tmp_path):
+        path = tmp_path / "a.lock"
+        with FileLock(path) as lock:
+            assert lock.held
+            assert probe_locked(path)
+        assert not probe_locked(path)
+
+    def test_write_note_round_trips(self, tmp_path):
+        path = tmp_path / "a.lock"
+        lock = FileLock(path)
+        lock.acquire()
+        lock.write_note("fig17-deadbeef.2")
+        assert path.read_text() == "fig17-deadbeef.2"
+        lock.release()
+
+    def test_write_note_without_lock_is_noop(self, tmp_path):
+        lock = FileLock(tmp_path / "a.lock")
+        lock.write_note("ignored")
+        assert not (tmp_path / "a.lock").exists()
+
+    def test_release_without_acquire_is_noop(self, tmp_path):
+        FileLock(tmp_path / "a.lock").release()
+
+
+class TestRunLockPath:
+    def test_safe_id_keeps_its_name(self, tmp_path):
+        path = run_lock_path(tmp_path, "fig17-abc123")
+        assert path.name == "fig17-abc123.lock"
+        assert path.parent == tmp_path / "locks"
+
+    def test_unsafe_id_is_hashed(self, tmp_path):
+        path = run_lock_path(tmp_path, "run/with:bad chars")
+        assert path.name.startswith("x")
+        assert "/" not in path.stem and ":" not in path.stem
+        # stable: same id, same lock file
+        assert path == run_lock_path(tmp_path, "run/with:bad chars")
+
+    def test_empty_id_is_hashed(self, tmp_path):
+        assert run_lock_path(tmp_path, "").name.startswith("x")
+
+
+class TestAcquireRunId:
+    def test_free_id_is_claimed_directly(self, tmp_path):
+        rid, lock, conflicts = acquire_run_id(tmp_path, "run-a")
+        try:
+            assert rid == "run-a"
+            assert conflicts == 0
+            assert lock.held
+            assert run_lock_path(tmp_path, "run-a").read_text() == "run-a"
+        finally:
+            lock.release()
+
+    def test_live_holder_pushes_to_suffix(self, tmp_path):
+        rid1, lock1, _ = acquire_run_id(tmp_path, "run-a")
+        rid2, lock2, conflicts = acquire_run_id(tmp_path, "run-a")
+        try:
+            assert rid1 == "run-a"
+            assert rid2 == "run-a.2"
+            assert conflicts == 1
+            assert run_lock_path(tmp_path, "run-a.2").read_text() == "run-a.2"
+        finally:
+            lock1.release()
+            lock2.release()
+
+    def test_released_id_is_reusable(self, tmp_path):
+        rid, lock, _ = acquire_run_id(tmp_path, "run-a")
+        lock.release()
+        rid2, lock2, conflicts = acquire_run_id(tmp_path, "run-a")
+        try:
+            assert rid2 == "run-a"
+            assert conflicts == 0
+        finally:
+            lock2.release()
+
+
+class TestLockInventory:
+    def test_held_and_stale_are_partitioned(self, tmp_path):
+        _, live, _ = acquire_run_id(tmp_path, "live-run")
+        dead = FileLock(run_lock_path(tmp_path, "dead-run"))
+        dead.acquire()
+        dead.release()  # lock file remains, nobody holds it
+        try:
+            held = [p.stem for p in held_lock_files(tmp_path)]
+            stale = [p.stem for p in stale_lock_files(tmp_path)]
+            assert held == ["live-run"]
+            assert stale == ["dead-run"]
+        finally:
+            live.release()
+
+    def test_empty_store_has_no_locks(self, tmp_path):
+        assert list(held_lock_files(tmp_path)) == []
+        assert list(stale_lock_files(tmp_path)) == []
